@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Format Ftcsn Ftcsn_expander Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Ftcsn_util Hashtbl List Printf String

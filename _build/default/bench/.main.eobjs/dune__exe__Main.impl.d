@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List Printf String Sys Timings Unix

@@ -1,0 +1,1 @@
+bench/timings.ml: Analyze Bechamel Benchmark Ftcsn Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

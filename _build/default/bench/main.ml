@@ -1,0 +1,44 @@
+(* Experiment + benchmark driver.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment + timings
+     dune exec bench/main.exe -- e7 f5        # selected experiments
+     dune exec bench/main.exe -- --quick      # reduced trial counts
+     dune exec bench/main.exe -- --no-timings # tables only *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_timings = List.mem "--no-timings" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  Experiments.quick := quick;
+  let to_run =
+    if selected = [] then Experiments.all
+    else
+      List.filter_map
+        (fun id ->
+          match
+            List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all
+          with
+          | Some exp -> Some exp
+          | None ->
+              Printf.eprintf "unknown experiment %S (known: %s)\n" id
+                (String.concat ", "
+                   (List.map (fun (eid, _, _) -> eid) Experiments.all));
+              None)
+        selected
+  in
+  Printf.printf
+    "Fault-Tolerant Circuit-Switching Networks (Pippenger & Lin) — experiment \
+     suite%s\n\n"
+    (if quick then " [quick mode]" else "");
+  List.iter
+    (fun (id, description, run) ->
+      Printf.printf "--- %s: %s ---\n%!" id description;
+      let t0 = Unix.gettimeofday () in
+      run ();
+      Printf.printf "(%s finished in %.1fs)\n\n%!" id (Unix.gettimeofday () -. t0))
+    to_run;
+  if (not no_timings) && selected = [] then Timings.run ()

@@ -1,0 +1,137 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel, so the
+   cost of each reproduction building block is tracked alongside its
+   correctness tables. *)
+
+open Bechamel
+open Toolkit
+module Rng = Ftcsn_prng.Rng
+module Network = Ftcsn_networks.Network
+module Benes = Ftcsn_networks.Benes
+module Digraph = Ftcsn_graph.Digraph
+
+let ft_build =
+  Test.make ~name:"e2/e3: build FT network (u=3 scaled)"
+    (Staged.stage (fun () ->
+         let rng = Rng.create ~seed:1 in
+         ignore (Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:3 ()))))
+
+let benes_looping =
+  let benes = Benes.make 256 in
+  let rng = Rng.create ~seed:2 in
+  let pi = Rng.permutation rng 256 in
+  Test.make ~name:"baseline: Benes looping route (n=256)"
+    (Staged.stage (fun () -> ignore (Benes.route benes pi)))
+
+let sc_probe =
+  let benes = Benes.network (Benes.make 64) in
+  let rng = Rng.create ~seed:3 in
+  Test.make ~name:"e7: superconcentrator flow probe (benes-64)"
+    (Staged.stage (fun () ->
+         let r = 1 + Rng.int rng 64 in
+         let s = Rng.sample_without_replacement rng ~n:64 ~k:r in
+         let t = Rng.sample_without_replacement rng ~n:64 ~k:r in
+         ignore
+           (Ftcsn_routing.Flow_route.max_throughput benes ~input_indices:s
+              ~output_indices:t)))
+
+let fault_strip =
+  let rng = Rng.create ~seed:4 in
+  let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:3 ()) in
+  let net = ft.Ftcsn.Ft_network.net in
+  let m = Network.size net in
+  Test.make ~name:"e6/e7: fault sample + strip (ft u=3)"
+    (Staged.stage (fun () ->
+         let pattern =
+           Ftcsn_reliability.Fault.sample rng ~eps_open:0.01 ~eps_close:0.01 ~m
+         in
+         ignore (Ftcsn.Fault_strip.strip net pattern)))
+
+let hammock_trial =
+  let h = Ftcsn_reliability.Hammock.make ~rows:8 ~width:8 in
+  let rng = Rng.create ~seed:5 in
+  Test.make ~name:"e1: hammock Monte-Carlo trial (8x8)"
+    (Staged.stage (fun () ->
+         let pattern =
+           Ftcsn_reliability.Fault.sample rng ~eps_open:0.05 ~eps_close:0.05
+             ~m:(Digraph.edge_count h.Ftcsn_reliability.Hammock.graph)
+         in
+         ignore
+           (Ftcsn_reliability.Survivor.connected_ignoring_opens
+              h.Ftcsn_reliability.Hammock.graph pattern
+              ~a:h.Ftcsn_reliability.Hammock.input
+              ~b:h.Ftcsn_reliability.Hammock.output)))
+
+let tree_extraction =
+  let rng = Rng.create ~seed:6 in
+  let tree = Ftcsn.Tree_paths.random_internal3_tree ~rng ~leaves:1000 in
+  Test.make ~name:"e9: Lemma-1 path extraction (1000 leaves)"
+    (Staged.stage (fun () -> ignore (Ftcsn.Tree_paths.short_leaf_paths tree)))
+
+let zone_analysis =
+  let rng = Rng.create ~seed:7 in
+  let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:3 ()) in
+  Test.make ~name:"e10: Theorem-1 zone analysis (ft u=3)"
+    (Staged.stage (fun () ->
+         ignore
+           (Ftcsn.Lower_bound.analyse ~threshold:3 ~radius:1 ~max_inputs:8
+              ft.Ftcsn.Ft_network.net)))
+
+let structured_route =
+  let rng = Rng.create ~seed:8 in
+  let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:4 ()) in
+  let plan = Ftcsn.Ft_route.plan ft in
+  let pi = Rng.permutation rng 16 in
+  Test.make ~name:"ft-route: structured permutation route (u=4)"
+    (Staged.stage (fun () ->
+         ignore
+           (Ftcsn.Ft_route.route_permutation plan ~allowed:(fun _ -> true) pi)))
+
+let bfs_route =
+  let rng = Rng.create ~seed:9 in
+  let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:4 ()) in
+  let pi = Rng.permutation rng 16 in
+  Test.make ~name:"ft-route: generic BFS permutation route (u=4)"
+    (Staged.stage (fun () ->
+         let r = Ftcsn_routing.Greedy.create ft.Ftcsn.Ft_network.net in
+         let s = ref 0 in
+         ignore (Ftcsn_routing.Greedy.route_permutation r pi ~success:s)))
+
+let tests =
+  [
+    ft_build;
+    structured_route;
+    bfs_route;
+    benes_looping;
+    sc_probe;
+    fault_strip;
+    hammock_trial;
+    tree_extraction;
+    zone_analysis;
+  ]
+
+let run () =
+  print_endline "== timings (Bechamel, monotonic clock) ==";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let grouped = Test.make_grouped ~name:"g" [ test ] in
+      let raw = Benchmark.all cfg instances grouped in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let clean name =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "%-48s %12.0f ns/run\n" (clean name) est
+          | _ -> Printf.printf "%-48s (no estimate)\n" (clean name))
+        results)
+    tests;
+  print_newline ()

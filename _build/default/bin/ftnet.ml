@@ -1,0 +1,363 @@
+(* ftnet — command-line interface to the fault-tolerant circuit-switching
+   network library.
+
+   Subcommands:
+     build    construct a network and print its vital statistics
+     faults   sample a fault pattern and report the stripped survivor
+     route    route a permutation (greedy) through an optionally faulty net
+     check    run property deciders (superconcentrator / rearrangeable /
+              nonblocking) on a small network
+     survive  Monte-Carlo (eps, delta) survival estimation
+     degrade  age the network under live traffic and report degradation
+     critical rank switches by Birnbaum criticality
+     render   DOT or ASCII renderings (grids, stage census) *)
+
+module Network = Ftcsn_networks.Network
+module Rng = Ftcsn_prng.Rng
+module Fault = Ftcsn_reliability.Fault
+open Cmdliner
+
+(* ---------- shared argument parsing ---------- *)
+
+let seed_arg =
+  let doc = "PRNG seed (all randomness is derived deterministically)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let eps_arg =
+  let doc = "Per-switch failure probability (open = closed = EPS)." in
+  Arg.(value & opt float 0.01 & info [ "eps" ] ~docv:"EPS" ~doc)
+
+let n_arg =
+  let doc = "Number of terminals (rounded to the family's natural grid)." in
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
+
+let family_arg =
+  let families =
+    [
+      ("ft", `Ft); ("benes", `Benes); ("butterfly", `Butterfly);
+      ("multibutterfly", `Multibutterfly); ("cantor", `Cantor);
+      ("crossbar", `Crossbar); ("clos", `Clos); ("clos-rearr", `Clos_rearr);
+      ("valiant-sc", `Valiant); ("recursive-nb", `Recursive);
+      ("multistage", `Multistage);
+    ]
+  in
+  let doc =
+    "Network family: " ^ String.concat ", " (List.map fst families) ^ "."
+  in
+  Arg.(value & opt (enum families) `Ft & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let log2_ceil n =
+  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+let build_network family ~n ~seed =
+  let rng = Rng.create ~seed in
+  let pow2 = 1 lsl log2_ceil n in
+  match family with
+  | `Ft ->
+      let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:(log2_ceil n) ()) in
+      ft.Ftcsn.Ft_network.net
+  | `Benes -> Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make (max 2 pow2))
+  | `Butterfly -> Ftcsn_networks.Butterfly.make (max 2 pow2)
+  | `Multibutterfly ->
+      Ftcsn_networks.Multibutterfly.make ~rng ~degree:2 (max 2 pow2)
+  | `Cantor -> Ftcsn_networks.Cantor.make (max 2 pow2)
+  | `Crossbar -> Ftcsn_networks.Crossbar.square n
+  | `Clos -> Ftcsn_networks.Clos.nonblocking ~n
+  | `Clos_rearr -> Ftcsn_networks.Clos.rearrangeable ~n
+  | `Valiant -> Ftcsn_networks.Valiant_sc.make ~rng n
+  | `Recursive ->
+      let net, _ =
+        Ftcsn_networks.Recursive_nb.make ~rng
+          ~params:(Ftcsn_networks.Recursive_nb.scaled_params ())
+          ~levels:(max 1 ((log2_ceil n + 1) / 2))
+      in
+      net
+  | `Multistage ->
+      Ftcsn_networks.Multistage.network (Ftcsn_networks.Multistage.make ~levels:2 n)
+
+(* ---------- build ---------- *)
+
+let build_cmd =
+  let run family n seed =
+    let net = build_network family ~n ~seed in
+    let g = net.Network.graph in
+    Format.printf "%a@." Network.pp net;
+    Format.printf "acyclic: %b@." (Network.is_acyclic net);
+    Format.printf "vertices: %d@." (Ftcsn_graph.Digraph.vertex_count g);
+    let p = Ftcsn_graph.Metrics.degree_profile g in
+    Format.printf "degrees: in %d..%d, out %d..%d, mean %.2f@."
+      p.Ftcsn_graph.Metrics.min_in p.Ftcsn_graph.Metrics.max_in
+      p.Ftcsn_graph.Metrics.min_out p.Ftcsn_graph.Metrics.max_out
+      p.Ftcsn_graph.Metrics.mean_out;
+    let rng = Rng.create ~seed:(seed + 9) in
+    Format.printf "directed diameter (sampled lower bound): %d@."
+      (Ftcsn_graph.Metrics.diameter_lower_bound g ~samples:8 ~rng)
+  in
+  let doc = "Construct a network and print size, depth and degree stats." in
+  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* ---------- faults ---------- *)
+
+let faults_cmd =
+  let run family n seed eps radius =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 1) in
+    let m = Network.size net in
+    let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
+    let opens = Fault.count pattern Fault.Open_failure in
+    let closes = Fault.count pattern Fault.Closed_failure in
+    Format.printf "switches: %d, open failures: %d, closed failures: %d@." m
+      opens closes;
+    let strip = Ftcsn.Fault_strip.strip ~radius net pattern in
+    Format.printf "stripped vertices: %d (%.2f%%)@."
+      (Ftcsn_util.Bitset.cardinal strip.Ftcsn.Fault_strip.stripped)
+      (100.0 *. Ftcsn.Fault_strip.stripped_fraction net strip);
+    Format.printf "terminals shorted: %s@."
+      (match strip.Ftcsn.Fault_strip.shorted_terminals with
+      | [] -> "none"
+      | ps ->
+          String.concat ", "
+            (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ps));
+    Format.printf "isolated inputs: %s@."
+      (match Ftcsn.Fault_strip.isolated_inputs net strip with
+      | [] -> "none"
+      | is -> String.concat ", " (List.map string_of_int is))
+  in
+  let radius =
+    Arg.(value & opt int 0 & info [ "radius" ] ~docv:"R"
+           ~doc:"Strip radius: 0 = faulty vertices, 1 = plus neighbours.")
+  in
+  let doc = "Sample a fault pattern and report the stripped survivor." in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ radius)
+
+(* ---------- route ---------- *)
+
+let route_cmd =
+  let run family n seed eps verbose =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 2) in
+    let n' = min (Network.n_inputs net) (Network.n_outputs net) in
+    let pi = Rng.permutation rng n' in
+    let allowed, routing_net =
+      if eps > 0.0 then begin
+        let pattern =
+          Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Network.size net)
+        in
+        let strip = Ftcsn.Fault_strip.strip net pattern in
+        ( strip.Ftcsn.Fault_strip.allowed,
+          Ftcsn.Fault_strip.surviving_network net strip )
+      end
+      else ((fun _ -> true), net)
+    in
+    let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
+    let success = ref 0 in
+    let paths = Ftcsn_routing.Greedy.route_permutation router pi ~success in
+    Format.printf "requests: %d, routed: %d, blocked: %d@." n' !success
+      (n' - !success);
+    if verbose then
+      Array.iteri
+        (fun i path ->
+          match path with
+          | Some p ->
+              Format.printf "  %d -> %d: %s@." i pi.(i)
+                (String.concat " " (List.map string_of_int p))
+          | None -> Format.printf "  %d -> %d: BLOCKED@." i pi.(i))
+        paths
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every path.")
+  in
+  let doc = "Greedily route a random permutation, optionally under faults." in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ verbose)
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let run family n seed =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 3) in
+    Format.printf "%a@." Network.pp net;
+    (match
+       Ftcsn_routing.Properties.superconcentrator_exhaustive ~max_work:100_000 net
+     with
+    | `Holds -> Format.printf "superconcentrator: yes (exhaustive)@."
+    | `Violated v ->
+        Format.printf "superconcentrator: NO (r=%d achieved=%d)@."
+          v.Ftcsn_routing.Properties.r v.Ftcsn_routing.Properties.achieved
+    | `Too_large -> (
+        match
+          Ftcsn_routing.Properties.superconcentrator_sampled ~trials:100 ~rng net
+        with
+        | None -> Format.printf "superconcentrator: probably (100 samples)@."
+        | Some v ->
+            Format.printf "superconcentrator: NO (sampled r=%d)@."
+              v.Ftcsn_routing.Properties.r));
+    if Network.n_inputs net <= 5 then begin
+      match Ftcsn_routing.Properties.rearrangeable_exhaustive net with
+      | `Holds -> Format.printf "rearrangeable: yes (exhaustive)@."
+      | `Violated pi ->
+          Format.printf "rearrangeable: NO (witness %s)@."
+            (Format.asprintf "%a" Ftcsn_util.Perm.pp pi)
+      | `Budget_exceeded -> Format.printf "rearrangeable: budget exceeded@."
+    end
+    else begin
+      match
+        Ftcsn_routing.Properties.rearrangeable_sampled ~trials:20 ~rng net
+      with
+      | None -> Format.printf "rearrangeable: probably (20 samples)@."
+      | Some _ -> Format.printf "rearrangeable: NO (sampled witness)@."
+    end;
+    if Network.n_inputs net <= 4 && Network.size net <= 64 then begin
+      match
+        Ftcsn_routing.Properties.nonblocking_exhaustive ~max_states:100_000 net
+      with
+      | `Holds -> Format.printf "strictly nonblocking: yes (exhaustive)@."
+      | `Violated _ -> Format.printf "strictly nonblocking: NO@."
+      | `Budget_exceeded -> Format.printf "strictly nonblocking: budget exceeded@."
+    end
+    else begin
+      let stats =
+        Ftcsn_routing.Properties.nonblocking_stress ~steps:500 ~rng net
+      in
+      Format.printf "nonblocking stress: %d offered, %d blocked@."
+        stats.Ftcsn_routing.Session.offered stats.Ftcsn_routing.Session.blocked
+    end
+  in
+  let doc = "Decide/estimate the three §2 properties for a network." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ family_arg $ n_arg $ seed_arg)
+
+(* ---------- survive ---------- *)
+
+let survive_cmd =
+  let run family n seed eps trials =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 4) in
+    let est =
+      Ftcsn.Pipeline.survival ~trials ~rng ~eps
+        ~probe:Ftcsn.Pipeline.sc_probe_only net
+    in
+    Format.printf "%a@." Network.pp net;
+    Format.printf
+      "P[survives eps=%g, superconcentrator probes] = %.3f  (95%% CI [%.3f, %.3f], %d trials)@."
+      eps est.Ftcsn_reliability.Monte_carlo.mean
+      est.Ftcsn_reliability.Monte_carlo.ci_low
+      est.Ftcsn_reliability.Monte_carlo.ci_high trials
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+  in
+  let doc = "Monte-Carlo (eps, delta) survival estimation." in
+  Cmd.v (Cmd.info "survive" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials)
+
+(* ---------- degrade ---------- *)
+
+let degrade_cmd =
+  let run family n seed hazard ticks =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 5) in
+    let stats = Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net in
+    Format.printf "%a@." Network.pp net;
+    Format.printf
+      "ticks=%d placed=%d blocked=%d dropped=%d rerouted=%d failures=%d@."
+      stats.Ftcsn.Ft_session.ticks stats.Ftcsn.Ft_session.placed
+      stats.Ftcsn.Ft_session.blocked stats.Ftcsn.Ft_session.dropped
+      stats.Ftcsn.Ft_session.rerouted stats.Ftcsn.Ft_session.failed_switches;
+    match stats.Ftcsn.Ft_session.catastrophe_at with
+    | Some t -> Format.printf "catastrophe (terminals fused) at tick %d@." t
+    | None -> Format.printf "no catastrophe within the horizon@."
+  in
+  let hazard =
+    Arg.(value & opt float 1e-5
+         & info [ "hazard" ] ~docv:"H" ~doc:"Per-switch failure probability per tick.")
+  in
+  let ticks =
+    Arg.(value & opt int 2000 & info [ "ticks" ] ~docv:"T" ~doc:"Simulation horizon.")
+  in
+  let doc = "Age the network under live traffic and report degradation." in
+  Cmd.v (Cmd.info "degrade" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ hazard $ ticks)
+
+(* ---------- critical ---------- *)
+
+let critical_cmd =
+  let run family n seed eps sample trials =
+    let net = build_network family ~n ~seed in
+    let rng = Rng.create ~seed:(seed + 6) in
+    let g = net.Network.graph in
+    (* event: the stripped survivor fails the class-fair probes *)
+    let event pattern =
+      let strip = Ftcsn.Fault_strip.strip net pattern in
+      (not (Ftcsn.Fault_strip.healthy strip))
+      || Ftcsn.Fault_strip.isolated_inputs net strip <> []
+    in
+    let ranked =
+      Ftcsn_reliability.Importance.rank ~trials ~rng ~graph:g ~eps ~event
+        ~sample ()
+    in
+    Format.printf "%a@." Network.pp net;
+    Format.printf "most critical sampled switches (Birnbaum, %d trials):@."
+      trials;
+    Array.iteri
+      (fun i e ->
+        if i < 10 then
+          let src, dst =
+            Ftcsn_graph.Digraph.edge_endpoints g e.Ftcsn_reliability.Importance.switch
+          in
+          Format.printf "  switch %5d (%d -> %d): open %+.4f  close %+.4f@."
+            e.Ftcsn_reliability.Importance.switch src dst
+            e.Ftcsn_reliability.Importance.open_importance
+            e.Ftcsn_reliability.Importance.close_importance)
+      ranked
+  in
+  let sample =
+    Arg.(value & opt int 24 & info [ "sample" ] ~docv:"S"
+           ~doc:"Number of switches to sample for ranking.")
+  in
+  let trials =
+    Arg.(value & opt int 300 & info [ "trials" ] ~docv:"T" ~doc:"Trials per switch.")
+  in
+  let doc = "Rank switches by Birnbaum criticality for the survival event." in
+  Cmd.v (Cmd.info "critical" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ sample $ trials)
+
+(* ---------- render ---------- *)
+
+let render_cmd =
+  let run family n seed kind =
+    match kind with
+    | `Grid ->
+        let s = Ftcsn.Directed_grid.make ~rows:(max 1 n) ~stages:8 in
+        print_string (Ftcsn.Directed_grid.render s)
+    | `Census ->
+        let net = build_network family ~n ~seed in
+        print_string
+          (Ftcsn_graph.Render.ascii_stages net.Network.graph
+             ~inputs:(Array.to_list net.Network.inputs))
+    | `Dot ->
+        let net = build_network family ~n ~seed in
+        print_string (Ftcsn_graph.Render.to_dot net.Network.graph)
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("grid", `Grid); ("census", `Census); ("dot", `Dot) ]) `Census
+      & info [ "kind" ] ~docv:"KIND" ~doc:"grid | census | dot.")
+  in
+  let doc = "ASCII/DOT renderings." in
+  Cmd.v (Cmd.info "render" ~doc)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ kind)
+
+let () =
+  let doc = "fault-tolerant circuit-switching networks (Pippenger & Lin)" in
+  let info = Cmd.info "ftnet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            build_cmd; faults_cmd; route_cmd; check_cmd; survive_cmd;
+            degrade_cmd; critical_cmd; render_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/degradation.ml: Format Ftcsn Ftcsn_networks Ftcsn_prng Hashtbl Printf

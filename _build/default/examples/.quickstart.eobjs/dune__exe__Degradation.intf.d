@@ -1,0 +1,1 @@
+examples/degradation.mli:

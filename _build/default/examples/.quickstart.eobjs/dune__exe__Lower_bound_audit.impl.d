@@ -1,0 +1,1 @@
+examples/lower_bound_audit.ml: Array Format Ftcsn Ftcsn_networks Ftcsn_prng List

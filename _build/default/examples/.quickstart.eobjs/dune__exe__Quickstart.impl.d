@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Ftcsn Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Ftcsn_util List

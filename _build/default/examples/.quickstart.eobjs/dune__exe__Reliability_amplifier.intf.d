@@ -1,0 +1,1 @@
+examples/reliability_amplifier.mli:

@@ -1,0 +1,1 @@
+examples/task_queue.ml: Format Ftcsn Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing List

@@ -1,0 +1,1 @@
+examples/video_switching.ml: Format Ftcsn Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing List Printf

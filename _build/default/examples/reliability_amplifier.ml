@@ -1,0 +1,104 @@
+(* Building reliable switching out of unreliable relays — the
+   Moore-Shannon programme (Proposition 1) made executable.
+
+   Given crummy switches that fail 10% of the time, we design an
+   (eps, eps')-1-network gadget whose composite open/short failure
+   probabilities are provably below a target, then substitute one gadget
+   for EVERY switch of a crossbar (the section 3 transfer argument) and
+   measure the composite fabric.
+
+   Run with: dune exec examples/reliability_amplifier.exe *)
+
+module Rng = Ftcsn_prng.Rng
+module Sp = Ftcsn_reliability.Sp_network
+module Fault = Ftcsn_reliability.Fault
+module Survivor = Ftcsn_reliability.Survivor
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+
+let component_eps = 0.1
+
+let () =
+  Format.printf
+    "components: switches with eps1 = eps2 = %g (10%% open, 10%% short)@.@."
+    component_eps;
+
+  (* 1. Design gadgets for a ladder of reliability targets. *)
+  Format.printf "%-12s %8s %8s %14s %14s@." "target" "size" "depth"
+    "exact P[open]" "exact P[short]";
+  List.iter
+    (fun target ->
+      let spec = Sp.design ~eps:component_eps ~eps':target in
+      Format.printf "%-12g %8d %8d %14.2e %14.2e@." target (Sp.size spec)
+        (Sp.depth spec)
+        (Sp.open_prob spec ~eps_open:component_eps ~eps_close:component_eps)
+        (Sp.short_prob spec ~eps_open:component_eps ~eps_close:component_eps))
+    [ 1e-2; 1e-4; 1e-8 ];
+
+  (* 2. Validate one design by Monte-Carlo on the built graph. *)
+  let target = 1e-2 in
+  let spec = Sp.design ~eps:component_eps ~eps':target in
+  let built = Sp.build spec in
+  let rng = Rng.create ~seed:5 in
+  let trials = 50_000 in
+  let opens = ref 0 and shorts = ref 0 in
+  for _ = 1 to trials do
+    let pattern =
+      Fault.sample rng ~eps_open:component_eps ~eps_close:component_eps
+        ~m:(Digraph.edge_count built.Sp.graph)
+    in
+    if
+      not
+        (Survivor.connected_ignoring_opens built.Sp.graph pattern
+           ~a:built.Sp.input ~b:built.Sp.output)
+    then incr opens;
+    if Survivor.shorted_by_closure built.Sp.graph pattern ~a:built.Sp.input
+         ~b:built.Sp.output
+    then incr shorts
+  done;
+  Format.printf
+    "@.measured on the built gadget (%d trials): P[open]=%.4f P[short]=%.4f \
+     (both < %g as designed)@."
+    trials
+    (float_of_int !opens /. float_of_int trials)
+    (float_of_int !shorts /. float_of_int trials)
+    target;
+
+  (* 3. Substitute the gadget into a 4x4 crossbar (section 3's transfer
+        argument) and compare LOGICAL switch failure rates: a gadget that
+        shorts acts as a closed-failed switch, one that cannot conduct as
+        an open-failed switch. *)
+  let crossbar = Ftcsn_networks.Crossbar.square 4 in
+  let sub =
+    Ftcsn_reliability.Substitution.substitute crossbar.Network.graph
+      ~gadget:built
+  in
+  Format.printf
+    "@.substituted fabric: %d physical switches standing in for 16 logical \
+     ones@."
+    (Digraph.edge_count sub.Ftcsn_reliability.Substitution.graph);
+  let trials = 2_000 in
+  let logical_failures = ref 0 and bare_failures = ref 0 in
+  let any_failed pattern =
+    Array.exists (fun s -> not (Fault.state_equal s Fault.Normal)) pattern
+  in
+  for _ = 1 to trials do
+    let physical =
+      Fault.sample rng ~eps_open:component_eps ~eps_close:component_eps
+        ~m:(Digraph.edge_count sub.Ftcsn_reliability.Substitution.graph)
+    in
+    let logical =
+      Ftcsn_reliability.Substitution.logical_pattern sub physical
+    in
+    if any_failed logical then incr logical_failures;
+    let bare =
+      Fault.sample rng ~eps_open:component_eps ~eps_close:component_eps ~m:16
+    in
+    if any_failed bare then incr bare_failures
+  done;
+  Format.printf
+    "P[some logical switch fails]: amplified fabric %.3f vs bare crossbar \
+     %.3f  (per-switch target was < %g)@."
+    (float_of_int !logical_failures /. float_of_int trials)
+    (float_of_int !bare_failures /. float_of_int trials)
+    (16.0 *. 2.0 *. target)

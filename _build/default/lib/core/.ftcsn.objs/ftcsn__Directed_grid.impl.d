@@ -1,0 +1,1 @@
+lib/core/directed_grid.ml: Array Ftcsn_graph Printf

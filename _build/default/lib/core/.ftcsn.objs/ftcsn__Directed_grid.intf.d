@@ -1,0 +1,1 @@
+lib/core/directed_grid.mli: Ftcsn_graph

@@ -1,0 +1,1 @@
+lib/core/fault_strip.ml: Array Ftcsn_graph Ftcsn_networks Ftcsn_reliability Ftcsn_util List

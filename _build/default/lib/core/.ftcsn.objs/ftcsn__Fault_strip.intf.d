@@ -1,0 +1,1 @@
+lib/core/fault_strip.mli: Ftcsn_graph Ftcsn_networks Ftcsn_reliability Ftcsn_util

@@ -1,0 +1,1 @@
+lib/core/ft_network.ml: Array Directed_grid Format Ft_params Ftcsn_graph Ftcsn_networks Ftcsn_prng Printf

@@ -1,0 +1,1 @@
+lib/core/ft_network.mli: Directed_grid Ft_params Ftcsn_networks Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/core/ft_params.ml: Directed_grid Format Ftcsn_networks

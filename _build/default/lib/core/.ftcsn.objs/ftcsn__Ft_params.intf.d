@@ -1,0 +1,1 @@
+lib/core/ft_params.mli: Format Ftcsn_networks

@@ -1,0 +1,1 @@
+lib/core/ft_route.ml: Array Directed_grid Ft_network Ft_params Ftcsn_graph Ftcsn_networks Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ft_route.mli: Ft_network Ftcsn_util

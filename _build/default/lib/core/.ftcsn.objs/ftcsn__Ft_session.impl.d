@@ -1,0 +1,1 @@
+lib/core/ft_session.ml: Array Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_util Fun Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/ft_session.mli: Ftcsn_networks Ftcsn_prng

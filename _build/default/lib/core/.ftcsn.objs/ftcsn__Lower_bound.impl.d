@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Ftcsn_graph Ftcsn_networks Ftcsn_util Hashtbl List Queue Tree_paths

@@ -1,0 +1,1 @@
+lib/core/majority_access.ml: Array Directed_grid Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_routing

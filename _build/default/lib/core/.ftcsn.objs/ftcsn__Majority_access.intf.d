@@ -1,0 +1,1 @@
+lib/core/majority_access.mli: Directed_grid Ftcsn_networks Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Fault_strip Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Majority_access Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ftcsn_networks Ftcsn_prng Ftcsn_reliability

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Array Float Ftcsn_networks Ftcsn_reliability

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Ftcsn_networks Ftcsn_reliability

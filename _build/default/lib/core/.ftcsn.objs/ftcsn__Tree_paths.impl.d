@@ -1,0 +1,1 @@
+lib/core/tree_paths.ml: Array Ftcsn_prng Hashtbl List Queue Stack

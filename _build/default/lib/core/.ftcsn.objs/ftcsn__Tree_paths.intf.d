@@ -1,0 +1,1 @@
+lib/core/tree_paths.mli: Ftcsn_prng

@@ -1,0 +1,67 @@
+module Digraph = Ftcsn_graph.Digraph
+
+type t = {
+  rows : int;
+  stages : int;
+  columns : int array array;
+}
+
+let build ~builder ~rows ~stages ?first_column ?last_column () =
+  if rows < 1 || stages < 1 then invalid_arg "Directed_grid.build: dimensions";
+  let expect name arr =
+    if Array.length arr <> rows then
+      invalid_arg (Printf.sprintf "Directed_grid.build: %s arity" name)
+  in
+  let columns =
+    Array.init stages (fun j ->
+        if j = 0 then
+          match first_column with
+          | Some arr when stages > 1 ->
+              expect "first_column" arr;
+              arr
+          | Some arr ->
+              expect "first_column" arr;
+              arr
+          | None -> Array.init rows (fun _ -> Digraph.Builder.add_vertex builder)
+        else if j = stages - 1 then
+          match last_column with
+          | Some arr ->
+              expect "last_column" arr;
+              arr
+          | None -> Array.init rows (fun _ -> Digraph.Builder.add_vertex builder)
+        else Array.init rows (fun _ -> Digraph.Builder.add_vertex builder))
+  in
+  if stages = 1 && first_column <> None && last_column <> None then
+    invalid_arg "Directed_grid.build: single column cannot be both terminals";
+  for j = 0 to stages - 2 do
+    for i = 0 to rows - 1 do
+      ignore
+        (Digraph.Builder.add_edge builder ~src:columns.(j).(i)
+           ~dst:columns.(j + 1).(i));
+      if rows > 1 then
+        ignore
+          (Digraph.Builder.add_edge builder ~src:columns.(j).(i)
+             ~dst:columns.(j + 1).((i + 1) mod rows))
+    done
+  done;
+  { rows; stages; columns }
+
+type standalone = {
+  grid : t;
+  graph : Digraph.t;
+}
+
+let make ~rows ~stages =
+  let builder = Digraph.Builder.create () in
+  let grid = build ~builder ~rows ~stages () in
+  { grid; graph = Digraph.Builder.freeze builder }
+
+let vertex_at t ~row ~col = t.columns.(col).(row)
+
+let edge_count ~rows ~stages =
+  if rows = 1 then stages - 1 else 2 * rows * (stages - 1)
+
+let render s =
+  Ftcsn_graph.Render.ascii_grid ~rows:s.grid.rows ~cols:s.grid.stages
+    ~vertex_at:(fun ~row ~col -> vertex_at s.grid ~row ~col)
+    s.graph

@@ -1,0 +1,41 @@
+(** (l, w)-directed grids (paper, §6 and Fig. 4).
+
+    A directed graph with w stages and l vertices per stage; an edge runs
+    from (i, j) to (i′, j+1) when i′ = i or i′ = i + 1 (mod l, closing the
+    hammock cylinder).  Grids interface the terminals to the recursive
+    middle network: a column cut has l vertices, so isolating a terminal
+    requires ~l simultaneous open failures (Lemma 3), at a cost of only
+    l·w switches per terminal. *)
+
+type t = {
+  rows : int;
+  stages : int;
+  columns : int array array;  (** [columns.(j)] = vertex ids of stage j *)
+}
+
+val build :
+  builder:Ftcsn_graph.Digraph.Builder.t ->
+  rows:int ->
+  stages:int ->
+  ?first_column:int array ->
+  ?last_column:int array ->
+  unit ->
+  t
+(** Emit grid vertices/edges into [builder]; optionally reuse existing
+    vertices as the first or last column (for splicing into network 𝒩).
+    @raise Invalid_argument on bad dimensions or column arity. *)
+
+type standalone = {
+  grid : t;
+  graph : Ftcsn_graph.Digraph.t;
+}
+
+val make : rows:int -> stages:int -> standalone
+
+val vertex_at : t -> row:int -> col:int -> int
+
+val edge_count : rows:int -> stages:int -> int
+(** 2·l·(w−1) for l ≥ 2, (w−1) for l = 1. *)
+
+val render : standalone -> string
+(** ASCII rendering in the style of the paper's Fig. 4. *)

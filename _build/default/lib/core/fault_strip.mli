@@ -1,0 +1,42 @@
+(** Fault stripping: recover a working subnetwork after failures.
+
+    The paper's §4 remark: "with high probability we can find a nonblocking
+    network contained in the fault-tolerant network merely by discarding
+    faulty components and their immediate neighbors, so no difficult
+    computations are hidden here".  A vertex is {e faulty} when one of its
+    incident switches failed (§6).  Stripping forbids faulty internal
+    vertices (and, at radius 1, their neighbours); terminals are kept —
+    any surviving path through allowed internal vertices automatically
+    uses only normal-state switches, because a failed switch marks both
+    its endpoints faulty. *)
+
+type t = {
+  allowed : int -> bool;  (** internal vertices that may carry traffic *)
+  faulty : Ftcsn_util.Bitset.t;
+  stripped : Ftcsn_util.Bitset.t;  (** faulty plus radius-neighbourhood *)
+  shorted_terminals : (int * int) list;
+      (** terminal pairs contracted by closed failures (Lemma 7 event) *)
+  normal_graph : Ftcsn_graph.Digraph.t;
+      (** the network graph restricted to normal-state switches (same
+          vertex ids, edge ids renumbered); all post-fault routing runs on
+          this graph so that a failed switch between two always-allowed
+          terminals can never carry traffic *)
+}
+
+val strip :
+  ?radius:int -> Ftcsn_networks.Network.t -> Ftcsn_reliability.Fault.pattern -> t
+(** [radius] 0 (default) forbids faulty vertices; 1 also forbids their
+    graph neighbours (the paper's conservative variant). *)
+
+val healthy : t -> bool
+(** No terminals were shorted together. *)
+
+val stripped_fraction : Ftcsn_networks.Network.t -> t -> float
+
+val surviving_network : Ftcsn_networks.Network.t -> t -> Ftcsn_networks.Network.t
+(** The network with only normal-state switches (terminals unchanged). *)
+
+val isolated_inputs : Ftcsn_networks.Network.t -> t -> int list
+(** Input indices with no remaining path to any output through allowed
+    vertices and normal switches — the open-failure disconnection event of
+    Lemma 3. *)

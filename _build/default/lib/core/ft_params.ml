@@ -1,0 +1,74 @@
+module Recursive_nb = Ftcsn_networks.Recursive_nb
+
+type t = {
+  base : Recursive_nb.params;
+  u : int;
+  gamma : int;
+  grid_stages : int;
+}
+
+let ipow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let paper ~u =
+  if u < 1 then invalid_arg "Ft_params.paper";
+  let gamma =
+    (* ceil(log4 (34 u)) *)
+    let target = 34 * u in
+    let rec go g acc = if acc >= target then g else go (g + 1) (acc * 4) in
+    go 0 1
+  in
+  { base = Recursive_nb.paper_params; u; gamma = max 1 gamma; grid_stages = max 2 u }
+
+let scaled ?(branching = 2) ?(width_factor = 4) ?(degree = 4) ?(gamma = 2)
+    ?grid_stages ~u () =
+  if u < 1 || gamma < 1 then invalid_arg "Ft_params.scaled";
+  let grid_stages = match grid_stages with Some g -> max 2 g | None -> max 2 u in
+  {
+    base = Recursive_nb.scaled_params ~branching ~width_factor ~degree ();
+    u;
+    gamma;
+    grid_stages;
+  }
+
+let n t = ipow t.base.Recursive_nb.branching t.u
+
+let grid_rows t =
+  t.base.Recursive_nb.width_factor * ipow t.base.Recursive_nb.branching t.gamma
+
+let middle_levels t = t.u + t.gamma
+
+let predicted_size t =
+  let beta = t.base.Recursive_nb.branching in
+  let wf = t.base.Recursive_nb.width_factor in
+  let d = t.base.Recursive_nb.degree in
+  let l = middle_levels t in
+  let width = wf * ipow beta l in
+  let n_terms = n t in
+  let rows = grid_rows t in
+  let grid_edges = Directed_grid.edge_count ~rows ~stages:t.grid_stages in
+  let middle_stage_pairs = 2 * (l - t.gamma) in
+  (* terminal fan edges on both sides + grids on both sides + middle
+     expanding stages (degree d per vertex per retained stage pair) *)
+  (2 * n_terms * rows) + (2 * n_terms * grid_edges) + (middle_stage_pairs * width * d)
+
+let predicted_depth t =
+  (* input edge + grid + middle stages + grid + output edge *)
+  let middle_stages = (2 * (middle_levels t - t.gamma)) + 1 in
+  (2 * 1) + (2 * (t.grid_stages - 1)) + (middle_stages - 1)
+
+let validate t =
+  let beta = t.base.Recursive_nb.branching in
+  if beta < 2 then Error "branching must be >= 2"
+  else if t.u < 1 then Error "u must be >= 1"
+  else if t.gamma < 1 then Error "gamma must be >= 1 (grids need a block to land on)"
+  else if t.grid_stages < 2 then Error "grid_stages must be >= 2"
+  else if t.base.Recursive_nb.degree < 1 then Error "degree must be >= 1"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ftnet(u=%d, gamma=%d, beta=%d, wf=%d, degree=%d, grid=%dx%d, n=%d)" t.u
+    t.gamma t.base.Recursive_nb.branching t.base.Recursive_nb.width_factor
+    t.base.Recursive_nb.degree (grid_rows t) t.grid_stages (n t)

@@ -1,0 +1,52 @@
+(** Parameters of the fault-tolerant network 𝒩 (paper, §6).
+
+    The paper instantiates n = 4^u terminals, oversizing
+    γ = ⌈log₄(34u)⌉ (so 34u ≤ 4^γ ≤ 136u), grids of 64·4^γ rows by u
+    stages, and the [P82] middle network at levels u + γ with the first
+    and last γ stages truncated.  Because those constants produce
+    million-edge networks even for n = 16, the record also admits scaled
+    instances with the same shape — every experiment states which
+    instance it ran. *)
+
+type t = {
+  base : Ftcsn_networks.Recursive_nb.params;
+  u : int;  (** n = branching^u terminals *)
+  gamma : int;  (** oversizing levels, ≥ 1 *)
+  grid_stages : int;  (** grid width (paper: u) *)
+}
+
+val paper : u:int -> t
+(** The paper's exact constants (β=4, wf=64, degree=10,
+    γ=⌈log₄ 34u⌉, grid_stages=u). *)
+
+val scaled :
+  ?branching:int ->
+  ?width_factor:int ->
+  ?degree:int ->
+  ?gamma:int ->
+  ?grid_stages:int ->
+  u:int ->
+  unit ->
+  t
+(** Test-sized defaults: β=2, wf=4, degree=4, γ=2, grid_stages=u. *)
+
+val n : t -> int
+(** branching^u. *)
+
+val grid_rows : t -> int
+(** wf·branching^γ. *)
+
+val middle_levels : t -> int
+(** u + γ. *)
+
+val predicted_size : t -> int
+(** Exact switch count of 𝒩 for these parameters (terminal fan edges +
+    grids + middle), matching the paper's 1408·u·4^{u+γ} accounting for
+    the paper constants. *)
+
+val predicted_depth : t -> int
+(** Stage count minus one: 2·grid_stages + middle stages + 2. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+module Network = Ftcsn_networks.Network
+module Recursive_nb = Ftcsn_networks.Recursive_nb
+module Digraph = Ftcsn_graph.Digraph
+
+type t = {
+  ft : Ft_network.t;
+  middle_pos : (int, int * int) Hashtbl.t;
+      (** middle vertex -> (retained stage index, offset in stage) *)
+  mid_idx : int;  (** retained index of the root (widest-block) stage *)
+  last_idx : int;
+  beta : int;
+  gamma : int;
+  levels : int;
+  rows : int;  (** grid rows = final block width *)
+}
+
+let ipow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let plan ft =
+  let p = ft.Ft_network.params in
+  let middle = ft.Ft_network.middle in
+  let middle_pos = Hashtbl.create 4096 in
+  Array.iteri
+    (fun idx stage ->
+      Array.iteri (fun off v -> Hashtbl.replace middle_pos v (idx, off)) stage)
+    middle.Recursive_nb.stages;
+  let levels = Ft_params.middle_levels p in
+  let gamma = p.Ft_params.gamma in
+  {
+    ft;
+    middle_pos;
+    mid_idx = levels - gamma;
+    last_idx = Array.length middle.Recursive_nb.stages - 1;
+    beta = p.Ft_params.base.Recursive_nb.branching;
+    gamma;
+    levels;
+    rows = Ft_params.grid_rows p;
+  }
+
+(* level (block granularity) of a retained middle stage *)
+let level_of t idx =
+  let s = idx + t.gamma in
+  if s <= t.levels then s else (2 * t.levels) - s
+
+(* ancestor block (at the given level) of the output grid block [j] *)
+let ancestor_block t ~j ~level = j / ipow t.beta (level - t.gamma)
+
+exception Found of int list
+
+let route ?(budget = 10_000) t ~allowed ~busy ~input ~output =
+  let net = t.ft.Ft_network.net in
+  let g = net.Network.graph in
+  let in_grid = t.ft.Ft_network.input_grids.(input) in
+  let out_grid = t.ft.Ft_network.output_grids.(output) in
+  let gs = t.ft.Ft_network.params.Ft_params.grid_stages in
+  let wf = t.ft.Ft_network.params.Ft_params.base.Recursive_nb.width_factor in
+  let steps = ref 0 in
+  let ok v = allowed v && not (busy v) in
+  let tick () =
+    incr steps;
+    !steps <= budget
+  in
+  (* DFS phases; [acc] collects the reversed path. *)
+  let rec grid_walk (grid : Directed_grid.t) ~row ~col acc ~at_end =
+    let v = grid.Directed_grid.columns.(col).(row) in
+    if not (tick () && ok v) then ()
+    else if col = gs - 1 then at_end ~row (v :: acc)
+    else begin
+      grid_walk grid ~row ~col:(col + 1) (v :: acc) ~at_end;
+      if t.rows > 1 then
+        grid_walk grid
+          ~row:((row + 1) mod t.rows)
+          ~col:(col + 1) (v :: acc) ~at_end
+    end
+  and middle_walk ~idx ~offset acc =
+    (* the current vertex (head of acc) lives at [idx] with [offset];
+       descend toward the last retained stage *)
+    if idx = t.last_idx then begin
+      (* this vertex is column 0 of output grid [offset / rows]; only the
+         right grid continues the path *)
+      if offset / t.rows = output then begin
+        let row = offset mod t.rows in
+        (* already on the grid's first column: continue the walk from the
+           NEXT column to avoid double-visiting the junction vertex *)
+        out_grid_walk ~row ~col:0 acc
+      end
+    end
+    else begin
+      let v = List.hd acc in
+      let next_level = level_of t (idx + 1) in
+      let want_block =
+        if idx + 1 <= t.mid_idx then -1 (* ascending: any block is fine *)
+        else ancestor_block t ~j:output ~level:next_level
+      in
+      let bw = wf * ipow t.beta next_level in
+      Digraph.iter_out g v (fun ~dst ~eid:_ ->
+          if tick () && ok dst then
+            match Hashtbl.find_opt t.middle_pos dst with
+            | Some (idx', off') when idx' = idx + 1 ->
+                if want_block < 0 || off' / bw = want_block then
+                  middle_walk ~idx:(idx + 1) ~offset:off' (dst :: acc)
+            | Some _ | None -> ())
+    end
+  and out_grid_walk ~row ~col acc =
+    if col = gs - 1 then begin
+      let out_v = net.Network.outputs.(output) in
+      if ok out_v then raise (Found (List.rev (out_v :: acc)))
+    end
+    else begin
+      (* successors on the next column *)
+      let try_row r =
+        let w = out_grid.Directed_grid.columns.(col + 1).(r) in
+        if tick () && ok w then out_grid_walk ~row:r ~col:(col + 1) (w :: acc)
+      in
+      try_row row;
+      if t.rows > 1 then try_row ((row + 1) mod t.rows)
+    end
+  in
+  let in_v = net.Network.inputs.(input) in
+  if not (ok in_v && ok net.Network.outputs.(output)) then None
+  else begin
+    match
+      for row = 0 to t.rows - 1 do
+        grid_walk in_grid ~row ~col:0 [ in_v ] ~at_end:(fun ~row:end_row acc ->
+            let offset = (input * t.rows) + end_row in
+            middle_walk ~idx:0 ~offset acc)
+      done
+    with
+    | () -> None
+    | exception Found path -> Some path
+  end
+
+let route_permutation ?budget t ~allowed pi =
+  let net = t.ft.Ft_network.net in
+  let n = Digraph.vertex_count net.Network.graph in
+  let busy_arr = Array.make n false in
+  let busy v = busy_arr.(v) in
+  let success = ref 0 in
+  let paths =
+    Array.init (Array.length pi) (fun i ->
+        match route ?budget t ~allowed ~busy ~input:i ~output:pi.(i) with
+        | Some path ->
+            List.iter (fun v -> busy_arr.(v) <- true) path;
+            incr success;
+            Some path
+        | None -> None)
+  in
+  (paths, !success)

@@ -1,0 +1,45 @@
+(** Structured routing for network 𝒩.
+
+    The generic greedy router BFSes the whole graph per request; 𝒩's
+    staged block structure supports a much cheaper strategy, the one the
+    paper's §4 "greedy application of a standard path-finding algorithm"
+    amounts to in practice:
+
+    + fan into any idle row of the input grid and walk its columns;
+    + ascend the left half of the middle freely (all edges lead to the
+      merged root block);
+    + descend the right half {e steering}: at each stage take an edge
+      into the child block that is the ancestor of the target output's
+      block;
+    + walk the output grid and drain.
+
+    The walk is a depth-first search with backtracking over idle allowed
+    vertices only, visiting O(depth · degree) vertices on uncongested
+    networks instead of O(size).  Produces exactly the same kind of
+    vertex-disjoint paths as {!Ftcsn_routing.Greedy}. *)
+
+type t
+(** Routing plan: per-vertex stage/offset tables for one {!Ft_network}. *)
+
+val plan : Ft_network.t -> t
+
+val route :
+  ?budget:int ->
+  t ->
+  allowed:(int -> bool) ->
+  busy:(int -> bool) ->
+  input:int ->
+  output:int ->
+  int list option
+(** One idle path from input index to output index through allowed idle
+    vertices ([budget], default 10_000, caps DFS vertex expansions).
+    The caller marks the returned path busy. *)
+
+val route_permutation :
+  ?budget:int ->
+  t ->
+  allowed:(int -> bool) ->
+  Ftcsn_util.Perm.t ->
+  int list option array * int
+(** Route all requests sequentially with internal busy tracking; returns
+    the paths and the number of successes. *)

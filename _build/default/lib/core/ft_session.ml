@@ -1,0 +1,268 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Fault = Ftcsn_reliability.Fault
+module Bitset = Ftcsn_util.Bitset
+module Union_find = Ftcsn_util.Union_find
+module Rng = Ftcsn_prng.Rng
+
+type stats = {
+  ticks : int;
+  placed : int;
+  blocked : int;
+  dropped : int;
+  rerouted : int;
+  failed_switches : int;
+  catastrophe_at : int option;
+}
+
+type sim = {
+  net : Network.t;
+  rng : Rng.t;
+  pattern : Fault.state array;
+  faulty : Bitset.t;
+  busy : Bitset.t;
+  shorts : Union_find.t;
+  terminal : bool array;
+  mutable calls : (int * int * int list * int list) list;
+      (** (input idx, output idx, vertex path, edge ids of the path) *)
+  mutable placed : int;
+  mutable blocked : int;
+  mutable dropped : int;
+  mutable rerouted : int;
+  mutable failures : int;
+}
+
+let make_sim ~rng net =
+  let g = net.Network.graph in
+  let terminal = Array.make (Digraph.vertex_count g) false in
+  List.iter (fun v -> terminal.(v) <- true) (Network.terminals net);
+  {
+    net;
+    rng;
+    pattern = Array.make (Digraph.edge_count g) Fault.Normal;
+    faulty = Bitset.create (Digraph.vertex_count g);
+    busy = Bitset.create (Digraph.vertex_count g);
+    shorts = Union_find.create (Digraph.vertex_count g);
+    terminal;
+    calls = [];
+    placed = 0;
+    blocked = 0;
+    dropped = 0;
+    rerouted = 0;
+    failures = 0;
+  }
+
+(* BFS over still-normal switches through idle, non-faulty internal
+   vertices; returns the vertex path and the edge ids it uses. *)
+let find_path sim ~src ~dst =
+  let g = sim.net.Network.graph in
+  let n = Digraph.vertex_count g in
+  (* terminals stay routable even when incident switches failed (their
+     failed switches are unusable edge-wise anyway); internal vertices are
+     stripped once faulty, mirroring Fault_strip *)
+  let ok v =
+    (not (Bitset.mem sim.busy v))
+    &&
+    if v = dst then true
+    else (not sim.terminal.(v)) && not (Bitset.mem sim.faulty v)
+  in
+  if Bitset.mem sim.busy src || Bitset.mem sim.busy dst then None
+  else begin
+    let parent_v = Array.make n (-1) in
+    let parent_e = Array.make n (-1) in
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Digraph.iter_out g u (fun ~dst:w ~eid ->
+          if
+            (not !found)
+            && (not seen.(w))
+            && Fault.state_equal sim.pattern.(eid) Fault.Normal
+            && ok w
+          then begin
+            seen.(w) <- true;
+            parent_v.(w) <- u;
+            parent_e.(w) <- eid;
+            if w = dst then found := true else Queue.add w queue
+          end)
+    done;
+    if not !found then None
+    else begin
+      let rec walk v vs es =
+        if v = src then (v :: vs, es)
+        else walk parent_v.(v) (v :: vs) (parent_e.(v) :: es)
+      in
+      Some (walk dst [] [])
+    end
+  end
+
+let place_call sim ~input ~output =
+  let src = sim.net.Network.inputs.(input)
+  and dst = sim.net.Network.outputs.(output) in
+  match find_path sim ~src ~dst with
+  | None -> false
+  | Some (path, edges) ->
+      List.iter (Bitset.add sim.busy) path;
+      sim.calls <- (input, output, path, edges) :: sim.calls;
+      sim.placed <- sim.placed + 1;
+      true
+
+let release sim (input, output) =
+  match
+    List.find_opt (fun (i, o, _, _) -> i = input && o = output) sim.calls
+  with
+  | None -> ()
+  | Some (_, _, path, _) ->
+      List.iter (Bitset.remove sim.busy) path;
+      sim.calls <-
+        List.filter (fun (i, o, _, _) -> (i, o) <> (input, output)) sim.calls
+
+(* Age the hardware one tick: each still-normal switch fails with the
+   given hazard, evenly split between open and closed.  Returns the newly
+   failed edge ids. *)
+let age sim ~hazard =
+  let g = sim.net.Network.graph in
+  let fresh = ref [] in
+  Array.iteri
+    (fun e s ->
+      if Fault.state_equal s Fault.Normal && Rng.bernoulli sim.rng hazard then begin
+        let state =
+          if Rng.bool sim.rng then Fault.Open_failure else Fault.Closed_failure
+        in
+        sim.pattern.(e) <- state;
+        sim.failures <- sim.failures + 1;
+        let src, dst = Digraph.edge_endpoints g e in
+        Bitset.add sim.faulty src;
+        Bitset.add sim.faulty dst;
+        if Fault.state_equal state Fault.Closed_failure then
+          Union_find.union sim.shorts src dst;
+        fresh := e :: !fresh
+      end)
+    sim.pattern;
+  !fresh
+
+let terminals_shorted sim =
+  let seen = Hashtbl.create 16 in
+  List.exists
+    (fun v ->
+      let c = Union_find.find sim.shorts v in
+      if Hashtbl.mem seen c then true
+      else begin
+        Hashtbl.add seen c ();
+        false
+      end)
+    (Network.terminals sim.net)
+
+(* drop calls whose path lost a switch; attempt immediate reroute *)
+let handle_failures sim fresh =
+  if fresh <> [] then begin
+    let failed_set = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace failed_set e ()) fresh;
+    let severed, alive =
+      List.partition
+        (fun (_, _, _, edges) -> List.exists (Hashtbl.mem failed_set) edges)
+        sim.calls
+    in
+    sim.calls <- alive;
+    List.iter
+      (fun (input, output, path, _) ->
+        List.iter (Bitset.remove sim.busy) path;
+        sim.dropped <- sim.dropped + 1;
+        if place_call sim ~input ~output then
+          sim.rerouted <- sim.rerouted + 1)
+      severed
+  end
+
+let run ~rng ~hazard ~arrival ~ticks net =
+  let sim = make_sim ~rng net in
+  let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
+  let catastrophe = ref None in
+  let tick = ref 0 in
+  while !catastrophe = None && !tick < ticks do
+    incr tick;
+    let fresh = age sim ~hazard in
+    if terminals_shorted sim then catastrophe := Some !tick
+    else begin
+      handle_failures sim fresh;
+      (* traffic *)
+      let live = List.length sim.calls in
+      let arrive =
+        live = 0 || (Rng.bernoulli sim.rng arrival && live < min n_in n_out)
+      in
+      if arrive then begin
+        let idle_inputs =
+          List.filter
+            (fun i -> not (List.exists (fun (i', _, _, _) -> i' = i) sim.calls))
+            (List.init n_in Fun.id)
+        in
+        let idle_outputs =
+          List.filter
+            (fun o -> not (List.exists (fun (_, o', _, _) -> o' = o) sim.calls))
+            (List.init n_out Fun.id)
+        in
+        match (idle_inputs, idle_outputs) with
+        | [], _ | _, [] -> ()
+        | _ ->
+            let i =
+              List.nth idle_inputs (Rng.int sim.rng (List.length idle_inputs))
+            in
+            let o =
+              List.nth idle_outputs (Rng.int sim.rng (List.length idle_outputs))
+            in
+            if not (place_call sim ~input:i ~output:o) then
+              sim.blocked <- sim.blocked + 1
+      end
+      else begin
+        match sim.calls with
+        | [] -> ()
+        | calls ->
+            let i, o, _, _ = List.nth calls (Rng.int sim.rng (List.length calls)) in
+            release sim (i, o)
+      end
+    end
+  done;
+  {
+    ticks = !tick;
+    placed = sim.placed;
+    blocked = sim.blocked;
+    dropped = sim.dropped;
+    rerouted = sim.rerouted;
+    failed_switches = sim.failures;
+    catastrophe_at = !catastrophe;
+  }
+
+let mean_time_to_degradation ~rng ~hazard ~trials ~max_ticks net =
+  let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
+  let horizon = ref 0.0 in
+  for _ = 1 to trials do
+    let sim = make_sim ~rng:(Rng.split rng) net in
+    (* saturate: keep every terminal pair connected identity-style *)
+    let saturated = ref true in
+    for i = 0 to min n_in n_out - 1 do
+      if not (place_call sim ~input:i ~output:i) then saturated := false
+    done;
+    assert !saturated;
+    let t = ref 0 in
+    let degraded = ref false in
+    while (not !degraded) && !t < max_ticks do
+      incr t;
+      let fresh = age sim ~hazard in
+      if terminals_shorted sim then degraded := true
+      else begin
+        let before = sim.dropped in
+        handle_failures sim fresh;
+        let lost = sim.dropped - before in
+        let recovered = sim.rerouted in
+        ignore recovered;
+        (* degradation = some severed call could not be rerouted *)
+        if lost > 0 && List.length sim.calls < min n_in n_out then
+          degraded := true
+      end
+    done;
+    horizon := !horizon +. float_of_int !t
+  done;
+  !horizon /. float_of_int trials

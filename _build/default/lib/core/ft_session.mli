@@ -1,0 +1,46 @@
+(** Degradation sessions: switches fail {e while} the network operates.
+
+    The paper's model draws one fault pattern up front; operationally the
+    same hardware degrades over time.  This simulator ages a network —
+    each tick every still-normal switch fails open or closed with a
+    per-tick hazard — while call traffic arrives and departs.  Calls whose
+    paths lose a switch are dropped and immediately rerouted through the
+    survivor if possible.  The run ends early if closed failures ever
+    contract two terminals (the Lemma 7 catastrophe).
+
+    This quantifies the paper's qualitative promise: an (ε, δ)-network
+    keeps serving until the accumulated failure fraction approaches ε. *)
+
+type stats = {
+  ticks : int;  (** ticks actually executed *)
+  placed : int;  (** calls successfully placed (incl. reroutes) *)
+  blocked : int;  (** call attempts that found no idle fault-free path *)
+  dropped : int;  (** live calls severed by a new failure *)
+  rerouted : int;  (** dropped calls immediately re-placed *)
+  failed_switches : int;  (** cumulative failures at the end *)
+  catastrophe_at : int option;
+      (** tick at which two terminals contracted, if ever *)
+}
+
+val run :
+  rng:Ftcsn_prng.Rng.t ->
+  hazard:float ->
+  arrival:float ->
+  ticks:int ->
+  Ftcsn_networks.Network.t ->
+  stats
+(** [run ~rng ~hazard ~arrival ~ticks net]: per tick, every normal switch
+    fails with probability [hazard] (split evenly open/closed); with
+    probability [arrival] a random idle input calls a random idle output,
+    otherwise a random live call hangs up. *)
+
+val mean_time_to_degradation :
+  rng:Ftcsn_prng.Rng.t ->
+  hazard:float ->
+  trials:int ->
+  max_ticks:int ->
+  Ftcsn_networks.Network.t ->
+  float
+(** Average tick of the first service failure (block, unrecovered drop,
+    or catastrophe) under saturating traffic; [max_ticks] when service
+    never failed within the horizon. *)

@@ -1,0 +1,225 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Traverse = Ftcsn_graph.Traverse
+
+type zone_report = {
+  input_vertex : int;
+  zone_sizes : int array;
+  min_zone : int;
+  neighbourhood_edges : int;
+}
+
+type report = {
+  n : int;
+  threshold : int;
+  good_input_vertices : int array;
+  good_fraction : float;
+  depth_certificate : int;
+  zones : zone_report list;
+  neighbourhood_total : int;
+}
+
+let log2f n = log (float_of_int n) /. log 2.0
+
+let default_threshold ~n = max 1 (int_of_float (log2f n /. 12.0))
+
+let default_radius ~threshold = max 1 ((threshold - 1) / 2)
+
+(* truncated undirected BFS: distances up to [limit], -1 beyond *)
+let bounded_dist g ~source ~limit =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if dist.(v) < limit then begin
+      let visit w =
+        if dist.(w) = -1 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end
+      in
+      Digraph.iter_out g v (fun ~dst ~eid:_ -> visit dst);
+      Digraph.iter_in g v (fun ~src ~eid:_ -> visit src)
+    end
+  done;
+  dist
+
+let good_inputs ?threshold net =
+  let g = net.Network.graph in
+  let n = Network.n_inputs net in
+  let threshold =
+    match threshold with Some t -> t | None -> default_threshold ~n
+  in
+  let chosen = ref [] in
+  let excluded = Array.make (Digraph.vertex_count g) false in
+  Array.iter
+    (fun v ->
+      if not excluded.(v) then begin
+        chosen := v :: !chosen;
+        (* exclude every input within distance < threshold *)
+        let dist = bounded_dist g ~source:v ~limit:(threshold - 1) in
+        Array.iter
+          (fun w -> if dist.(w) >= 0 then excluded.(w) <- true)
+          net.Network.inputs
+      end)
+    net.Network.inputs;
+  Array.of_list (List.rev !chosen)
+
+let zones_of_input net ~radius ~input_vertex =
+  let g = net.Network.graph in
+  let dist = bounded_dist g ~source:input_vertex ~limit:radius in
+  let zone_sizes = Array.make radius 0 in
+  Digraph.iter_edges g (fun ~eid:_ ~src ~dst ->
+      let d_src = dist.(src) and d_dst = dist.(dst) in
+      let near =
+        match (d_src >= 0, d_dst >= 0) with
+        | true, true -> min d_src d_dst
+        | true, false -> d_src
+        | false, true -> d_dst
+        | false, false -> -1
+      in
+      (* distance from vertex to edge = nearest endpoint distance + 1 *)
+      if near >= 0 && near + 1 <= radius then
+        zone_sizes.(near) <- zone_sizes.(near) + 1);
+  let min_zone = Array.fold_left min max_int zone_sizes in
+  let neighbourhood_edges = Array.fold_left ( + ) 0 zone_sizes in
+  {
+    input_vertex;
+    zone_sizes;
+    min_zone = (if min_zone = max_int then 0 else min_zone);
+    neighbourhood_edges;
+  }
+
+let analyse ?threshold ?radius ?(max_inputs = 64) net =
+  let n = Network.n_inputs net in
+  let threshold =
+    match threshold with Some t -> t | None -> default_threshold ~n
+  in
+  let radius =
+    match radius with Some r -> r | None -> default_radius ~threshold
+  in
+  let good = good_inputs ~threshold net in
+  let analysed =
+    Array.sub good 0 (min max_inputs (Array.length good))
+  in
+  let zones =
+    Array.to_list
+      (Array.map (fun v -> zones_of_input net ~radius ~input_vertex:v) analysed)
+  in
+  {
+    n;
+    threshold;
+    good_input_vertices = good;
+    good_fraction = float_of_int (Array.length good) /. float_of_int (max n 1);
+    depth_certificate =
+      (if Array.length good >= 2 then (threshold + 1) / 2 else 0);
+    zones;
+    neighbourhood_total =
+      List.fold_left (fun acc z -> acc + z.neighbourhood_edges) 0 zones;
+  }
+
+type lemma2_certificate = {
+  threshold_used : int;
+  linked_inputs : int;
+  forest_edges : int;
+  input_leaf_count : int;
+  shorting_families : int list list;
+}
+
+let lemma2_certificate ?threshold net =
+  let g = net.Network.graph in
+  let n_inputs = Network.n_inputs net in
+  let threshold =
+    match threshold with Some t -> t | None -> default_threshold ~n:n_inputs
+  in
+  let is_input = Array.make (Digraph.vertex_count g) false in
+  Array.iter (fun v -> is_input.(v) <- true) net.Network.inputs;
+  (* shortest undirected path from input v to any other input, <= threshold *)
+  let nearest_input_path v =
+    let n = Digraph.vertex_count g in
+    let dist = Array.make n (-1) in
+    let parent = Array.make n (-1) in
+    dist.(v) <- 0;
+    let queue = Queue.create () in
+    Queue.add v queue;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if dist.(u) < threshold then begin
+        let visit w =
+          if !found = None && dist.(w) = -1 then begin
+            dist.(w) <- dist.(u) + 1;
+            parent.(w) <- u;
+            if is_input.(w) then found := Some w else Queue.add w queue
+          end
+        in
+        Digraph.iter_out g u (fun ~dst ~eid:_ -> visit dst);
+        Digraph.iter_in g u (fun ~src ~eid:_ -> visit src)
+      end
+    done;
+    match !found with
+    | None -> None
+    | Some w ->
+        let rec walk x acc = if x = v then x :: acc else walk parent.(x) (x :: acc) in
+        Some (walk w [])
+  in
+  (* greedy forest of edge-disjoint initial segments (Lemma 2's step 3);
+     a union-find guard keeps the structure a genuine forest (the paper
+     asserts forest-ness; we enforce it by stopping a segment one edge
+     before it would close a cycle) *)
+  let used = Hashtbl.create 256 in
+  let uf = Ftcsn_util.Union_find.create (Digraph.vertex_count g) in
+  let forest_edges = ref [] in
+  let linked = ref 0 in
+  Array.iter
+    (fun v ->
+      match nearest_input_path v with
+      | None -> ()
+      | Some path ->
+          incr linked;
+          let rec take = function
+            | a :: (b :: _ as rest) ->
+                let key = (min a b, max a b) in
+                if Hashtbl.mem used key || Ftcsn_util.Union_find.equiv uf a b
+                then ()
+                else begin
+                  Hashtbl.add used key ();
+                  Ftcsn_util.Union_find.union uf a b;
+                  forest_edges := (a, b) :: !forest_edges;
+                  take rest
+                end
+            | _ -> ()
+          in
+          take path)
+    net.Network.inputs;
+  let forest =
+    Tree_paths.of_edges ~n:(Digraph.vertex_count g) !forest_edges
+  in
+  let input_leaf_count =
+    List.length (List.filter (fun v -> is_input.(v)) (Tree_paths.leaves forest))
+  in
+  let contracted = Tree_paths.contract_stretches forest in
+  let families =
+    List.filter
+      (fun path ->
+        match (path, List.rev path) with
+        | a :: _, b :: _ -> is_input.(a) && is_input.(b)
+        | _ -> false)
+      (Tree_paths.short_leaf_paths contracted)
+  in
+  {
+    threshold_used = threshold;
+    linked_inputs = !linked;
+    forest_edges = List.length !forest_edges;
+    input_leaf_count;
+    shorting_families = families;
+  }
+
+let theorem1_size_bound ~n =
+  let l = log2f n in
+  float_of_int n *. l *. l /. 2688.0
+
+let theorem1_depth_bound ~n = log2f n /. 12.0

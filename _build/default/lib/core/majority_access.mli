@@ -1,0 +1,61 @@
+(** Majority-access analysis (paper, Lemmas 3 and 6).
+
+    Given established vertex-disjoint paths (busy vertices) and a set of
+    faulty vertices, an idle vertex has {e access} to another if a path of
+    idle non-faulty vertices joins them.  A network is a
+    {e majority-access network} when every idle input has access to a
+    strict majority of the outputs; if both 𝒩 and its mirror are
+    majority-access and no terminals are shorted, 𝒩 contains a nonblocking
+    network (§6).  This module counts access sets, decides the property
+    for concrete fault/busy configurations, and runs Lemma 3's grid
+    version. *)
+
+val accessible :
+  Ftcsn_networks.Network.t ->
+  allowed:(int -> bool) ->
+  busy:(int -> bool) ->
+  from:int ->
+  targets:int array ->
+  int
+(** Number of [targets] reachable from vertex [from] through vertices that
+    are allowed and idle (endpoints included in the idleness requirement). *)
+
+val input_access_counts :
+  Ftcsn_networks.Network.t ->
+  allowed:(int -> bool) ->
+  busy:(int -> bool) ->
+  int array
+(** For each idle input, the number of outputs it has access to ([-1] for
+    busy inputs). *)
+
+val is_majority_access :
+  Ftcsn_networks.Network.t -> allowed:(int -> bool) -> busy:(int -> bool) -> bool
+(** Every idle input reaches strictly more than half of the outputs. *)
+
+val grid_last_column_access :
+  Directed_grid.standalone -> faulty:(int -> bool) -> source_row:int -> int
+(** Lemma 3's quantity: from row [source_row] of column 0, the number of
+    last-column vertices reachable through non-faulty grid vertices. *)
+
+val middle_stage : Ftcsn_networks.Network.t -> int array
+(** The vertices of the central stage (longest-path staging from the
+    inputs) — the wide waist over which §6's majority-access argument
+    runs: an idle input reaching a strict majority of the waist and an
+    idle output reaching (backwards) a strict majority must share a waist
+    vertex, which yields the connecting path. *)
+
+val sampled_busy_majority :
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  ?load:float ->
+  allowed:(int -> bool) ->
+  Ftcsn_networks.Network.t ->
+  bool
+(** Lemma 6's property is universally quantified over established path
+    sets; this probe samples them: per trial, greedily route a random
+    partial permutation covering [load] (default 0.5) of the terminals
+    through allowed vertices, then require every idle input to keep
+    access to a strict majority of the {!middle_stage} waist and every
+    idle output to keep backward access to a strict majority — the §6
+    certificate for nonblocking containment.  [false] is a definite
+    counterexample configuration; [true] is statistical evidence. *)

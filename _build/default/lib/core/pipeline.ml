@@ -1,0 +1,134 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Fault = Ftcsn_reliability.Fault
+module Monte_carlo = Ftcsn_reliability.Monte_carlo
+module Rng = Ftcsn_prng.Rng
+module Greedy = Ftcsn_routing.Greedy
+module Flow_route = Ftcsn_routing.Flow_route
+
+type verdict =
+  | Survived
+  | Shorted of (int * int) list
+  | Isolated of int list
+  | Unroutable of int
+
+type probe = {
+  greedy_permutations : int;
+  exact_permutations : int;
+  exact_budget : int;
+  sc_probes : int;
+  majority_probes : int;
+}
+
+let default_probe =
+  {
+    greedy_permutations = 1;
+    exact_permutations = 0;
+    exact_budget = 200_000;
+    sc_probes = 2;
+    majority_probes = 0;
+  }
+
+let sc_probe_only =
+  {
+    greedy_permutations = 0;
+    exact_permutations = 0;
+    exact_budget = 0;
+    sc_probes = 3;
+    majority_probes = 0;
+  }
+
+let rearrangeable_probe =
+  {
+    greedy_permutations = 0;
+    exact_permutations = 1;
+    exact_budget = 400_000;
+    sc_probes = 2;
+    majority_probes = 0;
+  }
+
+let lemma6_probe =
+  {
+    greedy_permutations = 0;
+    exact_permutations = 0;
+    exact_budget = 0;
+    sc_probes = 0;
+    majority_probes = 2;
+  }
+
+let route_probe ~rng ~probe ~allowed net =
+  let n = min (Network.n_inputs net) (Network.n_outputs net) in
+  let failures = ref 0 in
+  for _ = 1 to probe.greedy_permutations do
+    let pi = Rng.permutation rng n in
+    let router = Greedy.create ~allowed net in
+    let success = ref 0 in
+    let _paths = Greedy.route_permutation router pi ~success in
+    failures := !failures + (n - !success)
+  done;
+  for _ = 1 to probe.exact_permutations do
+    let pi = Rng.permutation rng n in
+    let requests =
+      Array.to_list
+        (Array.mapi
+           (fun i o -> (net.Network.inputs.(i), net.Network.outputs.(o)))
+           pi)
+    in
+    match
+      Ftcsn_routing.Backtrack.route_all ~budget:probe.exact_budget ~allowed net
+        requests
+    with
+    | Ftcsn_routing.Backtrack.Routed _ -> ()
+    | Ftcsn_routing.Backtrack.Unroutable
+    | Ftcsn_routing.Backtrack.Budget_exceeded ->
+        incr failures
+  done;
+  for _ = 1 to probe.sc_probes do
+    let r = 1 + Rng.int rng n in
+    let s = Rng.sample_without_replacement rng ~n ~k:r in
+    let t = Rng.sample_without_replacement rng ~n ~k:r in
+    let forbidden v = not (allowed v) in
+    let achieved =
+      Flow_route.max_throughput ~forbidden net ~input_indices:s ~output_indices:t
+    in
+    if achieved < r then failures := !failures + (r - achieved)
+  done;
+  if probe.majority_probes > 0 then begin
+    if
+      not
+        (Majority_access.sampled_busy_majority ~trials:probe.majority_probes
+           ~rng ~allowed net)
+    then incr failures
+  end;
+  !failures
+
+let trial ~rng ~eps ?(strip_radius = 0) ?(probe = default_probe) net =
+  let m = Digraph.edge_count net.Network.graph in
+  let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
+  let strip = Fault_strip.strip ~radius:strip_radius net pattern in
+  if strip.Fault_strip.shorted_terminals <> [] then
+    Shorted strip.Fault_strip.shorted_terminals
+  else begin
+    match Fault_strip.isolated_inputs net strip with
+    | _ :: _ as isolated -> Isolated isolated
+    | [] ->
+        (* route on the normal-switch subgraph so that failed switches can
+           never carry probe traffic, even between terminals *)
+        let surviving = Fault_strip.surviving_network net strip in
+        let failures =
+          route_probe ~rng ~probe ~allowed:strip.Fault_strip.allowed surviving
+        in
+        if failures = 0 then Survived else Unroutable failures
+  end
+
+let survival ~trials ~rng ~eps ?strip_radius ?probe net =
+  Monte_carlo.estimate ~trials ~rng (fun sub ->
+      match trial ~rng:sub ~eps ?strip_radius ?probe net with
+      | Survived -> true
+      | Shorted _ | Isolated _ | Unroutable _ -> false)
+
+let verdict_label = function
+  | Survived -> "survived"
+  | Shorted _ -> "shorted"
+  | Isolated _ -> "isolated"
+  | Unroutable k -> Printf.sprintf "unroutable(%d)" k

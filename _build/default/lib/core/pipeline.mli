@@ -1,0 +1,73 @@
+(** End-to-end (ε, δ) estimation: sample faults, strip, and test whether
+    the survivor still performs (paper, §3's definition made operational).
+
+    The (ε, δ)-property asks that the surviving normal-state switches
+    contain the desired network with probability > δ.  Containment is
+    verified exactly only for tiny networks; the operational proxies here
+    follow the paper's own §4 recipe — strip faulty vertices, then route
+    greedily — and report which step failed:
+
+    - [Shorted]: two terminals contracted by closed failures (Lemma 7);
+    - [Isolated]: an input lost all its paths to the outputs (Lemma 3);
+    - [Unroutable]: the stripped network failed to route the probe
+      workload (a sampled permutation and/or superconcentrator probes);
+    - [Survived]: everything passed. *)
+
+type verdict =
+  | Survived
+  | Shorted of (int * int) list
+  | Isolated of int list
+  | Unroutable of int  (** number of failed probe requests *)
+
+type probe = {
+  greedy_permutations : int;
+      (** permutations routed greedily — probes {e nonblocking}-style
+          operation (the paper's §4 claim is that greedy routing works on
+          𝒩; it does {e not} work on merely-rearrangeable networks such as
+          Beneš even fault-free) *)
+  exact_permutations : int;
+      (** permutations routed by exact backtracking — probes the
+          {e rearrangeable} property *)
+  exact_budget : int;  (** backtracking budget per permutation *)
+  sc_probes : int;
+      (** random (r, S, T) flow probes — the {e superconcentrator}
+          property, exactly decidable per probe by Menger *)
+  majority_probes : int;
+      (** sampled busy configurations checked for Lemma 6's
+          majority-access property — the paper's own sufficient condition
+          for nonblocking containment (§6) *)
+}
+
+val default_probe : probe
+(** one greedy permutation, no exact permutations, two flow probes *)
+
+val sc_probe_only : probe
+(** flow probes only — the class-fair workload for comparing networks that
+    are not nonblocking *)
+
+val rearrangeable_probe : probe
+(** exact permutations + flow probes *)
+
+val lemma6_probe : probe
+(** majority-access samples only — the §6 certificate route *)
+
+val trial :
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float ->
+  ?strip_radius:int ->
+  ?probe:probe ->
+  Ftcsn_networks.Network.t ->
+  verdict
+(** One fault sample at ε₁ = ε₂ = [eps], stripped and probed. *)
+
+val survival :
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float ->
+  ?strip_radius:int ->
+  ?probe:probe ->
+  Ftcsn_networks.Network.t ->
+  Ftcsn_reliability.Monte_carlo.estimate
+(** Monte-Carlo estimate of P[trial = Survived]. *)
+
+val verdict_label : verdict -> string

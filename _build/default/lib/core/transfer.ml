@@ -1,0 +1,42 @@
+module Network = Ftcsn_networks.Network
+module Sp_network = Ftcsn_reliability.Sp_network
+module Substitution = Ftcsn_reliability.Substitution
+
+type t = {
+  network : Network.t;
+  substitution : Substitution.t;
+  gadget_spec : Sp_network.spec;
+  size_factor : int;
+  depth_factor : int;
+}
+
+let harden ~eps ~eps' net =
+  let spec = Sp_network.design ~eps ~eps' in
+  let gadget = Sp_network.build spec in
+  let substitution = Substitution.substitute net.Network.graph ~gadget in
+  let image v = substitution.Substitution.vertex_image.(v) in
+  let network =
+    Network.make
+      ~name:(net.Network.name ^ "-hardened")
+      ~graph:substitution.Substitution.graph
+      ~inputs:(Array.map image net.Network.inputs)
+      ~outputs:(Array.map image net.Network.outputs)
+  in
+  {
+    network;
+    substitution;
+    gadget_spec = spec;
+    size_factor = Sp_network.size spec;
+    depth_factor = Sp_network.depth spec;
+  }
+
+let logical_pattern t pattern =
+  Substitution.logical_pattern t.substitution pattern
+
+let logical_failure_rates t ~eps =
+  ( Sp_network.open_prob t.gadget_spec ~eps_open:eps ~eps_close:eps,
+    Sp_network.short_prob t.gadget_spec ~eps_open:eps ~eps_close:eps )
+
+let delta_shift ~eps ~delta_from ~delta_to =
+  if delta_from <= 0.0 || delta_to <= 0.0 then invalid_arg "Transfer.delta_shift";
+  eps *. Float.min 1.0 (delta_to /. delta_from)

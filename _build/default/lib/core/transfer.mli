@@ -1,0 +1,46 @@
+(** The §3 transfer arguments, executable.
+
+    The paper reduces all (ε, δ) questions to a single ε by two
+    observations:
+    + {e ε-invariance}: substituting an (ε₂, ε₁)-1-network for every
+      switch of an (ε₁, δ)-network yields an (ε₂, δ)-network, at constant
+      factors in size and depth (Proposition 1 supplies the gadget);
+    + {e δ-invariance}: shrinking ε shrinks every term of the failure
+      polynomial, so an (ε, δ₂)-network is an (εδ₁/δ₂, δ₁)-network.
+
+    This module packages the first as a network transformer and exposes
+    the accounting of both, so experiments can check the claims on real
+    instances (see the [logical_pattern] round-trip in the tests). *)
+
+type t = {
+  network : Ftcsn_networks.Network.t;  (** the hardened network *)
+  substitution : Ftcsn_reliability.Substitution.t;
+  gadget_spec : Ftcsn_reliability.Sp_network.spec;
+  size_factor : int;  (** gadget switches per original switch *)
+  depth_factor : int;
+}
+
+val harden :
+  eps:float -> eps':float -> Ftcsn_networks.Network.t -> t
+(** [harden ~eps ~eps' net] replaces every switch of [net] with a
+    Proposition-1 gadget whose open and short probabilities at component
+    failure rate [eps] are both below [eps'].  The hardened network
+    tolerates component rate [eps] as well as [net] tolerates switch rate
+    [eps'] (up to the union bound across switches).
+    @raise Invalid_argument if [eps] is outside (0, 1/4). *)
+
+val logical_pattern :
+  t -> Ftcsn_reliability.Fault.pattern -> Ftcsn_reliability.Fault.pattern
+(** Collapse a physical pattern on the hardened network to the induced
+    logical pattern on the original network. *)
+
+val logical_failure_rates :
+  t -> eps:float -> float * float
+(** Exact (open, short) failure probabilities of one logical switch at
+    physical component rate ε₁ = ε₂ = [eps] (series-parallel recurrence,
+    no sampling). *)
+
+val delta_shift : eps:float -> delta_from:float -> delta_to:float -> float
+(** The δ-invariance bookkeeping: an (ε, δ_from)-network is also a
+    (ε·δ_to/δ_from, δ_to)-network; returns that shrunken ε
+    (paper, §3, for δ_to < δ_from). *)

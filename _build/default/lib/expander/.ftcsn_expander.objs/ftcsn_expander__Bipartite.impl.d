@@ -1,0 +1,1 @@
+lib/expander/bipartite.ml: Array Ftcsn_graph Ftcsn_util

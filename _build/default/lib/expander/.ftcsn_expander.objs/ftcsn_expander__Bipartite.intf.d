@@ -1,0 +1,1 @@
+lib/expander/bipartite.mli: Ftcsn_graph

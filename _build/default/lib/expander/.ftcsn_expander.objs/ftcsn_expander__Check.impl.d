@@ -1,0 +1,1 @@
+lib/expander/check.ml: Array Bipartite Ftcsn_prng Ftcsn_util

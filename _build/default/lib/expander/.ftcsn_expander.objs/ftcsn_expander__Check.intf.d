@@ -1,0 +1,1 @@
+lib/expander/check.mli: Bipartite Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/expander/gabber_galil.ml: Array Bipartite

@@ -1,0 +1,1 @@
+lib/expander/gabber_galil.mli: Bipartite

@@ -1,0 +1,1 @@
+lib/expander/lps.ml: Array Bipartite Hashtbl List

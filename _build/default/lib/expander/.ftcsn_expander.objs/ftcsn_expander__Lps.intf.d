@@ -1,0 +1,1 @@
+lib/expander/lps.mli: Bipartite

@@ -1,0 +1,1 @@
+lib/expander/margulis.mli: Bipartite

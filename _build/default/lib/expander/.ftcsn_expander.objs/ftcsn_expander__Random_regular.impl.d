@@ -1,0 +1,1 @@
+lib/expander/random_regular.ml: Array Bipartite Ftcsn_prng

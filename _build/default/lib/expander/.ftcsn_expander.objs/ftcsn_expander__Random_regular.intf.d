@@ -1,0 +1,1 @@
+lib/expander/random_regular.mli: Bipartite Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/expander/spectral.ml: Array Bipartite Float

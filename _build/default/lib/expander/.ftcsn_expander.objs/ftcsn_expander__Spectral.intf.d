@@ -1,0 +1,1 @@
+lib/expander/spectral.mli: Bipartite

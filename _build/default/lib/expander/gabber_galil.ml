@@ -1,0 +1,20 @@
+let degree = 5
+
+let side ~m = m * m
+
+let make ~m =
+  if m < 1 then invalid_arg "Gabber_galil.make";
+  let n = m * m in
+  let id x y = (x * m) + y in
+  let adj =
+    Array.init n (fun v ->
+        let x = v / m and y = v mod m in
+        [|
+          id x y;
+          id x ((x + y) mod m);
+          id x ((x + y + 1) mod m);
+          id ((x + y) mod m) y;
+          id ((x + y + 1) mod m) y;
+        |])
+  in
+  Bipartite.make ~inlets:n ~outlets:n ~adj

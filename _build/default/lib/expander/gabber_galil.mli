@@ -1,0 +1,17 @@
+(** The Gabber–Galil explicit expander [GG].
+
+    Vertices are Z_m × Z_m on both sides; inlet (x, y) is joined to the
+    five outlets (x, y), (x, x+y), (x, x+y+1), (x+y, y), (x+y+1, y)
+    (arithmetic mod m).  Gabber and Galil proved these bipartite graphs
+    are (c |S|)-expanding for small sets with an explicit constant; the
+    paper cites them as the first usable explicit construction for
+    superconcentrators.  Degree is 5 and both sides have m² vertices. *)
+
+val make : m:int -> Bipartite.t
+(** The m² × m² instance.  @raise Invalid_argument if [m < 1]. *)
+
+val side : m:int -> int
+(** Number of inlets (= outlets) = m². *)
+
+val degree : int
+(** Always 5. *)

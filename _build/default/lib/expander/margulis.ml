@@ -1,0 +1,24 @@
+let degree = 8
+
+let side ~m = m * m
+
+let make ~m =
+  if m < 1 then invalid_arg "Margulis.make";
+  let n = m * m in
+  let id x y = (x * m) + y in
+  let md a = ((a mod m) + m) mod m in
+  let adj =
+    Array.init n (fun v ->
+        let x = v / m and y = v mod m in
+        [|
+          id (md (x + (2 * y))) y;
+          id (md (x - (2 * y))) y;
+          id (md (x + (2 * y) + 1)) y;
+          id (md (x - (2 * y) - 1)) y;
+          id x (md (y + (2 * x)));
+          id x (md (y - (2 * x)));
+          id x (md (y + (2 * x) + 1));
+          id x (md (y - (2 * x) - 1));
+        |])
+  in
+  Bipartite.make ~inlets:n ~outlets:n ~adj

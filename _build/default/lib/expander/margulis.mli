@@ -1,0 +1,13 @@
+(** The Margulis explicit expander [M] (as analysed by Gabber–Galil).
+
+    Vertices are Z_m × Z_m; inlet (x, y) is joined to the eight outlets
+    obtained from the affine maps
+    (x ± 2y, y), (x ± (2y+1), y), (x, y ± 2x), (x, y ± (2x+1)) mod m.
+    Cited by the paper as the first explicit concentrator construction. *)
+
+val make : m:int -> Bipartite.t
+
+val side : m:int -> int
+
+val degree : int
+(** Always 8 (before deduplication of coincident images). *)

@@ -1,0 +1,23 @@
+module Rng = Ftcsn_prng.Rng
+
+let independent ~rng ~inlets ~outlets ~degree =
+  if degree > outlets then invalid_arg "Random_regular.independent";
+  let adj =
+    Array.init inlets (fun _ ->
+        Rng.sample_without_replacement rng ~n:outlets ~k:degree)
+  in
+  Bipartite.make ~inlets ~outlets ~adj
+
+let matching_union ~rng ~inlets ~outlets ~degree =
+  if inlets <= 0 || outlets <= 0 || degree <= 0 then
+    invalid_arg "Random_regular.matching_union";
+  let adj = Array.make inlets [] in
+  for _round = 1 to degree do
+    let pi = Rng.permutation rng outlets in
+    (* offset randomises which inlets share an outlet when inlets > outlets *)
+    let offset = Rng.int rng outlets in
+    for i = 0 to inlets - 1 do
+      adj.(i) <- pi.((i + offset) mod outlets) :: adj.(i)
+    done
+  done;
+  Bipartite.make ~inlets ~outlets ~adj:(Array.map Array.of_list adj)

@@ -1,0 +1,22 @@
+(** Seeded random d-regular bipartite graphs.
+
+    Bassalygo and Pinsker [BP] proved that random bipartite graphs of
+    constant degree are (αn, βn)-expanding with high probability; the
+    paper's recursive construction consumes degree-10 instances.  Two
+    samplers are provided: independent distinct choices per inlet, and a
+    union of d random near-perfect matchings (regular on both sides when
+    the side sizes divide evenly). *)
+
+val independent :
+  rng:Ftcsn_prng.Rng.t -> inlets:int -> outlets:int -> degree:int -> Bipartite.t
+(** Each inlet picks [degree] distinct outlets uniformly.
+    @raise Invalid_argument if [degree > outlets]. *)
+
+val matching_union :
+  rng:Ftcsn_prng.Rng.t -> inlets:int -> outlets:int -> degree:int -> Bipartite.t
+(** Union of [degree] rounds; in each round inlet [i] is matched with
+    outlet [π(i mod outlets)] for a fresh random permutation π, so outlet
+    in-degrees are balanced to within ⌈inlets/outlets⌉ per round.  This is
+    the flavour used inside the fault-tolerant construction, where both
+    sides need bounded degree (the paper's stages have in- and out-degree
+    10). *)

@@ -1,0 +1,1 @@
+lib/flow/hopcroft_karp.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/flow/maxflow.ml: Array Ftcsn_util Queue

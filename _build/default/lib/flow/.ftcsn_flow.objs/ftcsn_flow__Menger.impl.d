@@ -1,0 +1,1 @@
+lib/flow/menger.ml: Array Ftcsn_graph List Maxflow

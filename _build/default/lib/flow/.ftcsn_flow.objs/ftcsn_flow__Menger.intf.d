@@ -1,0 +1,1 @@
+lib/flow/menger.mli: Ftcsn_graph

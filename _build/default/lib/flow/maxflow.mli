@@ -1,0 +1,28 @@
+(** Dinic's maximum-flow algorithm on integer capacities.
+
+    The workhorse behind every Menger certificate in this repository:
+    superconcentrator checks, majority-access counting, and batch routing
+    all reduce to unit-capacity flows, for which Dinic runs in
+    O(E sqrt(V)). *)
+
+type t
+
+val create : n:int -> t
+(** Flow network on vertices [0, n). *)
+
+val vertex_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> int
+(** Add a directed capacitated arc; returns an arc handle usable with
+    {!flow_on}.  The reverse residual arc is managed internally. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Value of a maximum [source]→[sink] flow.  May be called once per
+    instance (capacities are consumed). *)
+
+val flow_on : t -> int -> int
+(** Flow routed on the given arc handle (after {!max_flow}). *)
+
+val min_cut_source_side : t -> source:int -> Ftcsn_util.Bitset.t
+(** After {!max_flow}: vertices reachable from [source] in the residual
+    graph; the arcs leaving this set form a minimum cut. *)

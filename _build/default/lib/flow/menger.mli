@@ -1,0 +1,35 @@
+(** Menger certificates: maximum sets of vertex-disjoint directed paths.
+
+    The definitions of rearrangeable networks and superconcentrators
+    (paper, §2) are statements about vertex-disjoint paths; by Menger's
+    theorem they are decided by unit-vertex-capacity max-flow, which this
+    module implements by the standard node-splitting reduction. *)
+
+val max_vertex_disjoint :
+  ?forbidden:(int -> bool) ->
+  Ftcsn_graph.Digraph.t ->
+  sources:int array ->
+  sinks:int array ->
+  int
+(** Maximum number of directed paths from [sources] to [sinks] that are
+    pairwise vertex-disjoint (endpoints included).  [forbidden] vertices
+    cannot be used at all. *)
+
+val vertex_disjoint_paths :
+  ?forbidden:(int -> bool) ->
+  Ftcsn_graph.Digraph.t ->
+  sources:int array ->
+  sinks:int array ->
+  int list list
+(** A maximum family of vertex-disjoint paths, each a vertex list from a
+    source to a sink. *)
+
+val min_vertex_cut_size :
+  ?forbidden:(int -> bool) ->
+  Ftcsn_graph.Digraph.t ->
+  sources:int array ->
+  sinks:int array ->
+  int
+(** Size of a minimum vertex cut (counting cut vertices; equals
+    {!max_vertex_disjoint} by Menger).  Lemma 3 of the paper applies this
+    duality to faulty-vertex cut sets in directed grids. *)

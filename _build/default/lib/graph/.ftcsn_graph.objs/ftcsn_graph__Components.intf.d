@@ -1,0 +1,1 @@
+lib/graph/components.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Format Ftcsn_util

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Digraph Ftcsn_prng Hashtbl List Option Traverse

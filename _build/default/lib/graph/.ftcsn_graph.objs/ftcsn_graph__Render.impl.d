@@ -1,0 +1,1 @@
+lib/graph/render.ml: Array Buffer Digraph Printf Staged

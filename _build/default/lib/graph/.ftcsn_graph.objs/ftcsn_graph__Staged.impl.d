@@ -1,0 +1,1 @@
+lib/graph/staged.ml: Array Digraph Traverse

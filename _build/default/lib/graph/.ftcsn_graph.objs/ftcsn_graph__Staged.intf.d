@@ -1,0 +1,1 @@
+lib/graph/staged.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Array Digraph Ftcsn_util List Queue

@@ -1,0 +1,1 @@
+lib/graph/traverse.mli: Digraph Ftcsn_util

@@ -1,0 +1,73 @@
+module Union_find = Ftcsn_util.Union_find
+
+let undirected_components g =
+  let uf = Union_find.create (Digraph.vertex_count g) in
+  Digraph.iter_edges g (fun ~eid:_ ~src ~dst -> Union_find.union uf src dst);
+  Union_find.compress_labels uf
+
+let undirected_component_sizes g =
+  let label, count = undirected_components g in
+  let sizes = Array.make count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) label;
+  sizes
+
+let same_component g a b =
+  let label, _ = undirected_components g in
+  label.(a) = label.(b)
+
+(* Iterative Tarjan SCC: explicit stack of (vertex, next-edge-index). *)
+let strongly_connected_components g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let label = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_label = ref 0 in
+  let adj = Array.init n (Digraph.out_neighbours g) in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      let call = Stack.create () in
+      Stack.push (root, 0) call;
+      index.(root) <- !next_index;
+      low.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty call) do
+        let v, i = Stack.pop call in
+        if i < Array.length adj.(v) then begin
+          let w = adj.(v).(i) in
+          Stack.push (v, i + 1) call;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            low.(w) <- !next_index;
+            incr next_index;
+            Stack.push w stack;
+            on_stack.(w) <- true;
+            Stack.push (w, 0) call
+          end
+          else if on_stack.(w) && index.(w) < low.(v) then low.(v) <- index.(w)
+        end
+        else begin
+          if low.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              label.(w) <- !next_label;
+              if w = v then continue := false
+            done;
+            incr next_label
+          end;
+          if not (Stack.is_empty call) then begin
+            let parent, pi = Stack.top call in
+            ignore pi;
+            if low.(v) < low.(parent) then low.(parent) <- low.(v)
+          end
+        end
+      done
+    end
+  done;
+  (label, !next_label)

@@ -1,0 +1,13 @@
+(** Connected components (undirected sense) and acyclicity audits. *)
+
+val undirected_components : Digraph.t -> int array * int
+(** [(label, count)]: dense component label per vertex. *)
+
+val undirected_component_sizes : Digraph.t -> int array
+(** Sizes indexed by component label. *)
+
+val same_component : Digraph.t -> int -> int -> bool
+
+val strongly_connected_components : Digraph.t -> int array * int
+(** Tarjan's algorithm (iterative); labels are in reverse topological
+    order of the condensation. *)

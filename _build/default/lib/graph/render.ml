@@ -1,0 +1,63 @@
+let to_dot ?(name = "g") ?vertex_label ?highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  for v = 0 to Digraph.vertex_count g - 1 do
+    let label =
+      match vertex_label with Some f -> f v | None -> string_of_int v
+    in
+    let attrs =
+      match highlight with
+      | Some h when h v -> Printf.sprintf " [label=\"%s\", style=filled]" label
+      | _ -> Printf.sprintf " [label=\"%s\"]" label
+    in
+    Buffer.add_string buf (Printf.sprintf "  v%d%s;\n" v attrs)
+  done;
+  Digraph.iter_edges g (fun ~eid:_ ~src ~dst ->
+      Buffer.add_string buf (Printf.sprintf "  v%d -> v%d;\n" src dst));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let ascii_stages g ~inputs =
+  let staged = Staged.of_sources g ~sources:inputs in
+  let sizes = Staged.stage_sizes staged in
+  let edges = Staged.stage_edge_counts g staged in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "stage | vertices | out-edges\n";
+  Array.iteri
+    (fun s size ->
+      Buffer.add_string buf
+        (Printf.sprintf "%5d | %8d | %9d\n" s size
+           (if s < Array.length edges then edges.(s) else 0)))
+    sizes;
+  Buffer.contents buf
+
+let ascii_grid ~rows ~cols ~vertex_at g =
+  let has_edge a b =
+    Digraph.fold_out g a ~init:false ~f:(fun acc ~dst ~eid:_ -> acc || dst = b)
+  in
+  let buf = Buffer.create 256 in
+  for r = 0 to rows - 1 do
+    (* vertex line *)
+    for c = 0 to cols - 1 do
+      Buffer.add_char buf 'o';
+      if c < cols - 1 then
+        if has_edge (vertex_at ~row:r ~col:c) (vertex_at ~row:r ~col:(c + 1))
+        then Buffer.add_string buf "---"
+        else Buffer.add_string buf "   "
+    done;
+    Buffer.add_char buf '\n';
+    (* diagonal line *)
+    if r < rows then begin
+      for c = 0 to cols - 2 do
+        let diag =
+          has_edge
+            (vertex_at ~row:r ~col:c)
+            (vertex_at ~row:((r + 1) mod rows) ~col:(c + 1))
+        in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (if diag then "\\  " else "   ")
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Rendering: Graphviz DOT export and ASCII stage diagrams (used to
+    regenerate the paper's Figures 4 and 5 as textual artefacts). *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?highlight:(int -> bool) ->
+  Digraph.t ->
+  string
+
+val ascii_stages : Digraph.t -> inputs:int list -> string
+(** One line per stage: stage index, vertex count, outgoing edge count —
+    the census format used by experiment F5. *)
+
+val ascii_grid : rows:int -> cols:int -> vertex_at:(row:int -> col:int -> int) -> Digraph.t -> string
+(** Draw a staged grid (Fig. 4 style): row-per-line, [o] vertices, with
+    [-] straight and [\ ] diagonal edges marked per column gap. *)

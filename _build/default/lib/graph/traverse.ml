@@ -1,0 +1,113 @@
+module Bitset = Ftcsn_util.Bitset
+
+let always _ = true
+
+let bfs_core ~undirected ?(allowed = always) g ~sources =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  let visit d v = if dist.(v) = -1 && allowed v then begin
+    dist.(v) <- d;
+    Queue.add v queue
+  end
+  in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = dist.(v) + 1 in
+    Digraph.iter_out g v (fun ~dst ~eid:_ -> visit d dst);
+    if undirected then Digraph.iter_in g v (fun ~src ~eid:_ -> visit d src)
+  done;
+  dist
+
+let bfs_directed ?allowed g ~sources = bfs_core ~undirected:false ?allowed g ~sources
+
+let bfs_undirected ?allowed g ~sources = bfs_core ~undirected:true ?allowed g ~sources
+
+let bfs_directed_max_dist g ~sources =
+  Array.fold_left max 0 (bfs_directed g ~sources)
+
+let reachable ?allowed g ~sources =
+  let dist = bfs_directed ?allowed g ~sources in
+  let set = Bitset.create (Digraph.vertex_count g) in
+  Array.iteri (fun v d -> if d >= 0 then Bitset.add set v) dist;
+  set
+
+let path_of_parents parents ~src ~dst =
+  let rec walk v acc = if v = src then v :: acc else walk parents.(v) (v :: acc) in
+  walk dst []
+
+let shortest_path_core ~undirected ?(allowed = always) g ~src ~dst =
+  let n = Digraph.vertex_count g in
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    let visit u v =
+      if (not seen.(v)) && (v = dst || allowed v) then begin
+        seen.(v) <- true;
+        parent.(v) <- u;
+        if v = dst then found := true else Queue.add v queue
+      end
+    in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Digraph.iter_out g u (fun ~dst:v ~eid:_ -> visit u v);
+      if undirected then Digraph.iter_in g u (fun ~src:v ~eid:_ -> visit u v)
+    done;
+    if !found then Some (path_of_parents parent ~src ~dst) else None
+  end
+
+let shortest_path ?allowed g ~src ~dst =
+  shortest_path_core ~undirected:false ?allowed g ~src ~dst
+
+let shortest_path_undirected ?allowed g ~src ~dst =
+  shortest_path_core ~undirected:true ?allowed g ~src ~dst
+
+let topological_order g =
+  let n = Digraph.vertex_count g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    Digraph.iter_out g v (fun ~dst ~eid:_ ->
+        indeg.(dst) <- indeg.(dst) - 1;
+        if indeg.(dst) = 0 then Queue.add dst queue)
+  done;
+  if !filled = n then Some order else None
+
+let is_acyclic g = topological_order g <> None
+
+let longest_path_dag g ~sources =
+  match topological_order g with
+  | None -> invalid_arg "Traverse.longest_path_dag: cyclic graph"
+  | Some order ->
+      let n = Digraph.vertex_count g in
+      let dist = Array.make n (-1) in
+      List.iter (fun s -> dist.(s) <- 0) sources;
+      Array.iter
+        (fun v ->
+          if dist.(v) >= 0 then
+            Digraph.iter_out g v (fun ~dst ~eid:_ ->
+                if dist.(v) + 1 > dist.(dst) then dist.(dst) <- dist.(v) + 1))
+        order;
+      dist
+
+let depth g ~inputs ~outputs =
+  let dist = longest_path_dag g ~sources:inputs in
+  List.fold_left (fun acc o -> max acc dist.(o)) (-1) outputs

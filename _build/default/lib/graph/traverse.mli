@@ -1,0 +1,45 @@
+(** Graph traversals: BFS distances (directed and undirected), DFS,
+    topological order, reachability.
+
+    The paper's lower bound (§5) measures distances "ignoring the direction
+    of each edge"; {!bfs_undirected} implements exactly that metric, while
+    {!bfs_directed} serves routing and depth computation. *)
+
+val bfs_directed :
+  ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> int array
+(** [bfs_directed g ~sources] is the array of directed hop distances from
+    the source set; [-1] marks unreachable vertices.  [allowed] restricts the
+    traversal to permitted vertices (sources are visited regardless). *)
+
+val bfs_undirected :
+  ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> int array
+(** As {!bfs_directed} but edges are traversed in both directions — the
+    paper's [dist] metric of §5. *)
+
+val bfs_directed_max_dist : Digraph.t -> sources:int list -> int
+(** Largest finite directed distance from the source set. *)
+
+val reachable : ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> Ftcsn_util.Bitset.t
+(** Directed reachability set. *)
+
+val shortest_path :
+  ?allowed:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+(** Vertices of one shortest directed path [src ... dst], or [None]. *)
+
+val shortest_path_undirected :
+  ?allowed:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+
+val topological_order : Digraph.t -> int array option
+(** Kahn's algorithm; [None] when the graph has a directed cycle. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val longest_path_dag : Digraph.t -> sources:int list -> int array
+(** For a DAG: longest directed path length (in edges) from the source set
+    to each vertex, [-1] if unreachable.  @raise Invalid_argument on cyclic
+    input. *)
+
+val depth : Digraph.t -> inputs:int list -> outputs:int list -> int
+(** The network-depth measure of the paper (§2): the largest number of
+    edges on any directed input→output path.  Requires acyclicity.
+    Returns [-1] when no output is reachable. *)

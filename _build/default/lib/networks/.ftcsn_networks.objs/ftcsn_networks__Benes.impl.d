@@ -1,0 +1,1 @@
+lib/networks/benes.ml: Array Ftcsn_graph Ftcsn_util List Network Printf Stack

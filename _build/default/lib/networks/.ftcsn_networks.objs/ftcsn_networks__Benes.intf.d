@@ -1,0 +1,1 @@
+lib/networks/benes.mli: Ftcsn_util Network

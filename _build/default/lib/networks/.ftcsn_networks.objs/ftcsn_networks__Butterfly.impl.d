@@ -1,0 +1,1 @@
+lib/networks/butterfly.ml: Array Ftcsn_graph List Network Printf

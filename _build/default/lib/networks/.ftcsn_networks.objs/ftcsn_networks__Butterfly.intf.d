@@ -1,0 +1,1 @@
+lib/networks/butterfly.mli: Network

@@ -1,0 +1,1 @@
+lib/networks/cantor.ml: Array Benes Ftcsn_graph Network Printf

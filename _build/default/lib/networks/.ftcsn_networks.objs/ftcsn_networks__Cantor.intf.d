@@ -1,0 +1,1 @@
+lib/networks/cantor.mli: Network

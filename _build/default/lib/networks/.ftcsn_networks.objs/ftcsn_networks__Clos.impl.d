@@ -1,0 +1,1 @@
+lib/networks/clos.ml: Array Ftcsn_flow Ftcsn_graph Ftcsn_util Network Printf

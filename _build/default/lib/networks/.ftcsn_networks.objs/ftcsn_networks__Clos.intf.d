@@ -1,0 +1,1 @@
+lib/networks/clos.mli: Ftcsn_util Network

@@ -1,0 +1,1 @@
+lib/networks/concentrator.ml: Array Ftcsn_expander Ftcsn_flow Ftcsn_prng Ftcsn_util Fun

@@ -1,0 +1,1 @@
+lib/networks/concentrator.mli: Ftcsn_expander Ftcsn_prng

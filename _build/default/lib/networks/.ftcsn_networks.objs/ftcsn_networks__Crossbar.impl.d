@@ -1,0 +1,1 @@
+lib/networks/crossbar.ml: Array Ftcsn_graph Network Printf

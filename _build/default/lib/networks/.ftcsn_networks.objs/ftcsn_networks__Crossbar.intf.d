@@ -1,0 +1,1 @@
+lib/networks/crossbar.mli: Network

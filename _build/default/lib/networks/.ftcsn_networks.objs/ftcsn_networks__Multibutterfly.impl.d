@@ -1,0 +1,1 @@
+lib/networks/multibutterfly.ml: Array Ftcsn_graph Ftcsn_prng List Network Printf

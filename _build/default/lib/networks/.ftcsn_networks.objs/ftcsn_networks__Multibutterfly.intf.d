@@ -1,0 +1,1 @@
+lib/networks/multibutterfly.mli: Ftcsn_prng Ftcsn_util Network

@@ -1,0 +1,1 @@
+lib/networks/multistage.ml: Array Clos Ftcsn_graph Ftcsn_util Network Printf

@@ -1,0 +1,1 @@
+lib/networks/multistage.mli: Ftcsn_util Network

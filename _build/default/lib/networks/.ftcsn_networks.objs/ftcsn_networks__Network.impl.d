@@ -1,0 +1,1 @@
+lib/networks/network.ml: Array Format Ftcsn_graph Hashtbl

@@ -1,0 +1,1 @@
+lib/networks/network.mli: Format Ftcsn_graph

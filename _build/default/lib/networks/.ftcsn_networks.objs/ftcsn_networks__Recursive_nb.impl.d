@@ -1,0 +1,1 @@
+lib/networks/recursive_nb.ml: Array Ftcsn_graph Ftcsn_prng Network Printf

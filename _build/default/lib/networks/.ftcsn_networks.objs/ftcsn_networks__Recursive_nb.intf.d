@@ -1,0 +1,1 @@
+lib/networks/recursive_nb.mli: Ftcsn_graph Ftcsn_prng Network

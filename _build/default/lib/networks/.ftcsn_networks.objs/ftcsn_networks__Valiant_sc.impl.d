@@ -1,0 +1,1 @@
+lib/networks/valiant_sc.ml: Array Ftcsn_graph Ftcsn_prng Network Printf

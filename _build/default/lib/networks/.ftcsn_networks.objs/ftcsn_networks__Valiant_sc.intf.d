@@ -1,0 +1,1 @@
+lib/networks/valiant_sc.mli: Ftcsn_prng Network

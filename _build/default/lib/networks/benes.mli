@@ -1,0 +1,28 @@
+(** Beneš rearrangeable networks [B] and the looping algorithm.
+
+    B(n) for n a power of two: a column of n/2 2×2 switches, two recursive
+    B(n/2) halves, and an output column — size 4·(n/2)·(2 log₂ n − 1) =
+    Θ(n log n), matching the Shannon lower bound [S].  The looping
+    algorithm 2-colours the request graph (a union of two perfect
+    matchings, hence even cycles) to split any permutation across the two
+    halves, yielding vertex-disjoint routes for every permutation — the
+    constructive proof of rearrangeability.
+
+    In the graph formalism of the paper, a 2×2 switch is the complete
+    bipartite graph K₂,₂ on wire vertices, so each switch contributes four
+    graph edges (switch crosspoints). *)
+
+type t
+
+val make : int -> t
+(** [make n] for n ≥ 2 a power of two.  @raise Invalid_argument otherwise. *)
+
+val network : t -> Network.t
+
+val route : t -> Ftcsn_util.Perm.t -> int list array
+(** [route t pi] = vertex-disjoint paths, one per input [i], from input
+    vertex [i] to output vertex [pi.(i)].  Paths include both endpoints.
+    @raise Invalid_argument when the permutation arity differs from n. *)
+
+val switch_columns : t -> int
+(** 2 log₂ n − 1. *)

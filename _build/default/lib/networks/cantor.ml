@@ -1,0 +1,31 @@
+module Digraph = Ftcsn_graph.Digraph
+
+let make ?copies n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Cantor.make: n must be a power of two >= 2";
+  let k =
+    let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+    go 0 1
+  in
+  let m = match copies with Some c -> max 1 c | None -> max 1 k in
+  let b = Digraph.Builder.create () in
+  let inputs = Array.init n (fun _ -> Digraph.Builder.add_vertex b) in
+  let outputs = Array.init n (fun _ -> Digraph.Builder.add_vertex b) in
+  (* Embed m Beneš copies by replaying their edge lists into our builder. *)
+  for _copy = 1 to m do
+    let benes = Benes.make n in
+    let bn = Benes.network benes in
+    let bg = bn.Network.graph in
+    let offset = Digraph.Builder.add_vertices b (Digraph.vertex_count bg) in
+    Digraph.iter_edges bg (fun ~eid:_ ~src ~dst ->
+        ignore (Digraph.Builder.add_edge b ~src:(offset + src) ~dst:(offset + dst)));
+    Array.iteri
+      (fun i v -> ignore (Digraph.Builder.add_edge b ~src:inputs.(i) ~dst:(offset + v)))
+      bn.Network.inputs;
+    Array.iteri
+      (fun j v -> ignore (Digraph.Builder.add_edge b ~src:(offset + v) ~dst:outputs.(j)))
+      bn.Network.outputs
+  done;
+  Network.make
+    ~name:(Printf.sprintf "cantor-%d-m%d" n m)
+    ~graph:(Digraph.Builder.freeze b) ~inputs ~outputs

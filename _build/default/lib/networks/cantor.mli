@@ -1,0 +1,14 @@
+(** Cantor networks: strictly nonblocking at Θ(n log² n) size.
+
+    A Cantor network stacks m = log₂ n parallel Beneš copies; input i fans
+    out to its wire in every copy, and every copy's wire j feeds output j.
+    A counting argument shows m = log₂ n copies make the network strictly
+    nonblocking under greedy routing.  Its n log² n size is the same
+    asymptotic the paper's fault-tolerant construction pays — so the paper
+    can be read as "fault tolerance costs no more than Cantor-style
+    nonblocking" — which makes this the natural fault-free comparator in
+    experiments E2/E8. *)
+
+val make : ?copies:int -> int -> Network.t
+(** [make n] with n a power of two ≥ 2; [copies] defaults to
+    max 1 (log₂ n). *)

@@ -1,0 +1,64 @@
+module Bipartite = Ftcsn_expander.Bipartite
+module Hopcroft_karp = Ftcsn_flow.Hopcroft_karp
+module Rng = Ftcsn_prng.Rng
+module Combinat = Ftcsn_util.Combinat
+
+type t = {
+  graph : Bipartite.t;
+  capacity : int;
+}
+
+let random ~rng ~inputs ~outputs ~degree =
+  if outputs > inputs then invalid_arg "Concentrator.random: outputs > inputs";
+  let graph =
+    Ftcsn_expander.Random_regular.independent ~rng ~inlets:inputs
+      ~outlets:outputs ~degree:(min degree outputs)
+  in
+  { graph; capacity = outputs / 2 }
+
+let of_expander graph ~capacity =
+  if capacity > graph.Bipartite.outlets then
+    invalid_arg "Concentrator.of_expander: capacity exceeds outputs";
+  { graph; capacity }
+
+(* matching size restricted to an input subset *)
+let matching_size t subset =
+  let adj = Array.map (fun i -> t.graph.Bipartite.adj.(i)) subset in
+  let m =
+    Hopcroft_karp.matching ~n_left:(Array.length subset)
+      ~n_right:t.graph.Bipartite.outlets ~adj
+  in
+  m.Hopcroft_karp.size
+
+let verify_exhaustive t =
+  let n = t.graph.Bipartite.inlets in
+  if n > 20 then invalid_arg "Concentrator.verify_exhaustive: too many inputs";
+  let refuted = ref None in
+  (try
+     for k = 1 to min t.capacity n do
+       Combinat.iter_subsets ~n ~k (fun s ->
+           if matching_size t s < k then begin
+             refuted := Some (Array.copy s);
+             raise Exit
+           end)
+     done
+   with Exit -> ());
+  match !refuted with None -> `Certified | Some s -> `Refuted s
+
+(* shrink a deficient candidate to a minimal Hall violator via the
+   matching's reachability structure: unmatched inlet + alternating paths *)
+let verify_sampled t ~trials ~rng =
+  let n = t.graph.Bipartite.inlets in
+  let rec go trial =
+    if trial = 0 then None
+    else begin
+      let k = 1 + Rng.int rng (min t.capacity n) in
+      let s = Rng.sample_without_replacement rng ~n ~k in
+      if matching_size t s < k then Some s else go (trial - 1)
+    end
+  in
+  go trials
+
+let max_concentration t ~k =
+  let all = Array.init t.graph.Bipartite.inlets Fun.id in
+  min k (matching_size t all)

@@ -1,0 +1,40 @@
+(** Concentrators: the building block beneath superconcentrators.
+
+    An (n, m, c)-concentrator is a bipartite graph with n inputs and
+    m ≤ n outputs in which every set of k ≤ c inputs has k vertex-disjoint
+    paths to (distinct) outputs — equivalently, by Hall's theorem, every
+    input set S with |S| ≤ c has |Γ(S)| ≥ |S|.  Margulis [M] ("Explicit
+    constructions of concentrators") and Gabber–Galil [GG] built the first
+    explicit linear-size families; {!Valiant_sc} consumes them
+    recursively.  This module wraps bipartite graphs with concentration
+    certificates (exact via matchings on small instances, sampled above)
+    and provides random and expander-backed constructions. *)
+
+type t = {
+  graph : Ftcsn_expander.Bipartite.t;
+  capacity : int;  (** the c of the definition *)
+}
+
+val random :
+  rng:Ftcsn_prng.Rng.t -> inputs:int -> outputs:int -> degree:int -> t
+(** Seeded random bipartite concentrator with capacity ⌊outputs/2⌋
+    claimed (certify before relying on it). *)
+
+val of_expander : Ftcsn_expander.Bipartite.t -> capacity:int -> t
+
+val verify_exhaustive : t -> [ `Certified | `Refuted of int array ]
+(** Check Hall's condition for every input set of size ≤ capacity
+    (via maximum matching per deficient candidate); exponential — small
+    instances only.  [`Refuted s] returns a deficient input set.
+    @raise Invalid_argument when inputs > 20. *)
+
+val verify_sampled :
+  t -> trials:int -> rng:Ftcsn_prng.Rng.t -> int array option
+(** Randomised Hall search: matchings on random ≤capacity subsets plus
+    greedy shrinking; [Some s] is a definite deficient set. *)
+
+val max_concentration : t -> k:int -> int
+(** The largest matching saturating some k-subset... more precisely the
+    maximum matching size between the full input side and outputs,
+    capped at k: equals k iff every k-subset chosen greedily can be
+    matched (used as a cheap upper-level sanity check). *)

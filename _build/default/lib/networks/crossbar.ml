@@ -1,0 +1,17 @@
+module Digraph = Ftcsn_graph.Digraph
+
+let make ?name ~n ~m () =
+  if n < 1 || m < 1 then invalid_arg "Crossbar.make";
+  let b = Digraph.Builder.create () in
+  let inputs = Array.init n (fun _ -> Digraph.Builder.add_vertex b) in
+  let outputs = Array.init m (fun _ -> Digraph.Builder.add_vertex b) in
+  Array.iter
+    (fun i ->
+      Array.iter (fun o -> ignore (Digraph.Builder.add_edge b ~src:i ~dst:o)) outputs)
+    inputs;
+  let name =
+    match name with Some s -> s | None -> Printf.sprintf "crossbar-%dx%d" n m
+  in
+  Network.make ~name ~graph:(Digraph.Builder.freeze b) ~inputs ~outputs
+
+let square n = make ~n ~m:n ()

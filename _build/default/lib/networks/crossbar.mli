@@ -1,0 +1,10 @@
+(** The n × m crossbar: one switch per (input, output) pair.
+
+    The trivially strictly nonblocking network — and, at n² switches, the
+    cost the paper's constructions undercut.  Also the building block of
+    Clos networks. *)
+
+val make : ?name:string -> n:int -> m:int -> unit -> Network.t
+
+val square : int -> Network.t
+(** [square n] = [make ~n ~m:n]. *)

@@ -1,0 +1,48 @@
+(** Multibutterflies: butterflies with expander-based splitters
+    (Leighton–Maggs [LM], cited in the paper as the practical route to
+    fault tolerance in packet-routing networks).
+
+    Level ℓ partitions rows into 2^ℓ blocks; a splitter sends each vertex
+    of a block to [d] seeded-random neighbours in the upper half and [d]
+    in the lower half of its block at the next level, replacing the
+    butterfly's single straight/cross edges.  With d > 1 the redundancy
+    lets the network route around faults; experiment E7 uses it as the
+    middle baseline between the fragile butterfly and the paper's
+    construction. *)
+
+type t = {
+  net : Network.t;
+  n : int;
+  levels : int;  (** log₂ n *)
+  degree : int;
+}
+
+val make_structured : rng:Ftcsn_prng.Rng.t -> degree:int -> int -> t
+
+val make : rng:Ftcsn_prng.Rng.t -> degree:int -> int -> Network.t
+(** [make ~rng ~degree n] for n a power of two ≥ 2; degree ≥ 1 edges into
+    each half-block. *)
+
+val route :
+  ?budget:int ->
+  t ->
+  allowed:(int -> bool) ->
+  busy:(int -> bool) ->
+  input:int ->
+  output:int ->
+  int list option
+(** Levelled routing in the Leighton–Maggs style [LM]: at level ℓ the
+    correct half of the current block is forced by bit (levels−ℓ−1) of
+    the output row, but {e which} of the [degree] edges into that half is
+    free — the redundancy that routes around faults (the plain butterfly
+    is the degenerate d = 1 case with no choice).  Depth-first with
+    backtracking over idle allowed vertices; [budget] (default 2000) caps
+    vertex expansions. *)
+
+val route_permutation :
+  ?budget:int ->
+  t ->
+  allowed:(int -> bool) ->
+  Ftcsn_util.Perm.t ->
+  int list option array * int
+(** Sequential greedy routing with internal busy tracking. *)

@@ -1,0 +1,155 @@
+module Digraph = Ftcsn_graph.Digraph
+module Perm = Ftcsn_util.Perm
+
+type node =
+  | Leaf of { ins : int array; outs : int array }
+  | Node of {
+      k : int;
+      r : int;
+      ins : int array;
+      outs : int array;
+      l1 : int array array; (* r ingress switches x k middles *)
+      l2 : int array array; (* k middles x r egress switches *)
+      middles : node array;
+    }
+
+type t = {
+  net : Network.t;
+  root : node;
+  exposed : int;
+  full : int;
+  levels : int;
+  k : int;
+}
+
+let ipow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let complete_bipartite b srcs dsts =
+  Array.iter
+    (fun s ->
+      Array.iter (fun d -> ignore (Digraph.Builder.add_edge b ~src:s ~dst:d)) dsts)
+    srcs
+
+let rec build b ins outs levels k =
+  let n = Array.length ins in
+  if levels = 0 then begin
+    complete_bipartite b ins outs;
+    Leaf { ins; outs }
+  end
+  else begin
+    let r = n / k in
+    let l1 =
+      Array.init r (fun _ -> Array.init k (fun _ -> Digraph.Builder.add_vertex b))
+    in
+    let l2 =
+      Array.init k (fun _ -> Array.init r (fun _ -> Digraph.Builder.add_vertex b))
+    in
+    for i = 0 to r - 1 do
+      complete_bipartite b (Array.sub ins (i * k) k) l1.(i)
+    done;
+    for e = 0 to r - 1 do
+      complete_bipartite b
+        (Array.init k (fun j -> l2.(j).(e)))
+        (Array.sub outs (e * k) k)
+    done;
+    let middles =
+      Array.init k (fun j ->
+          let sub_ins = Array.init r (fun i -> l1.(i).(j)) in
+          let sub_outs = l2.(j) in
+          build b sub_ins sub_outs (levels - 1) k)
+    in
+    Node { k; r; ins; outs; l1; l2; middles }
+  end
+
+let default_k ~levels n =
+  let rec go k = if ipow k (levels + 1) >= n then k else go (k + 1) in
+  go 2
+
+let make ?k ~levels n =
+  if n < 1 || levels < 0 then invalid_arg "Multistage.make";
+  let k =
+    match k with
+    | Some k when k >= 2 -> k
+    | Some _ -> invalid_arg "Multistage.make: k >= 2"
+    | None -> if n = 1 then 2 else default_k ~levels n
+  in
+  let full = ipow k (levels + 1) in
+  if full < n then invalid_arg "Multistage.make: k^(levels+1) < n";
+  let b = Digraph.Builder.create () in
+  let ins = Array.init full (fun _ -> Digraph.Builder.add_vertex b) in
+  let outs = Array.init full (fun _ -> Digraph.Builder.add_vertex b) in
+  let root = build b ins outs levels k in
+  let net =
+    Network.make
+      ~name:(Printf.sprintf "multistage-n%d-t%d-k%d" n levels k)
+      ~graph:(Digraph.Builder.freeze b)
+      ~inputs:(Array.sub ins 0 n) ~outputs:(Array.sub outs 0 n)
+  in
+  { net; root; exposed = n; full; levels; k }
+
+let network t = t.net
+
+let stage_count t = (2 * t.levels) + 1
+
+(* recursive Slepian-Duguid: a full permutation splits into k sub-
+   permutations, one per middle, because the request multigraph is exactly
+   k-regular *)
+let rec route_node node pi =
+  match node with
+  | Leaf { ins; outs } -> Array.init (Array.length pi) (fun i -> [ ins.(i); outs.(pi.(i)) ])
+  | Node { k; r; ins; outs; l1; l2; middles } ->
+      let n = Array.length pi in
+      let requests = Array.init n (fun i -> (i / k, pi.(i) / k)) in
+      let middle_of = Clos.slepian_duguid ~k ~r requests in
+      (* per-middle sub-permutation on switch indices, and the request
+         each (middle, ingress) pair serves *)
+      let sub_pi = Array.init k (fun _ -> Array.make r (-1)) in
+      let req_of = Array.init k (fun _ -> Array.make r (-1)) in
+      for i = 0 to n - 1 do
+        let j = middle_of.(i) in
+        let a = i / k and bsw = pi.(i) / k in
+        sub_pi.(j).(a) <- bsw;
+        req_of.(j).(a) <- i
+      done;
+      let paths = Array.make n [] in
+      Array.iteri
+        (fun j sub ->
+          if not (Perm.is_valid sub) then
+            invalid_arg "Multistage.route: decomposition not a permutation";
+          let sub_paths = route_node middles.(j) sub in
+          Array.iteri
+            (fun a sub_path ->
+              let i = req_of.(j).(a) in
+              paths.(i) <- (ins.(i) :: sub_path) @ [ outs.(pi.(i)) ])
+            sub_paths)
+        sub_pi;
+      ignore l1;
+      ignore l2;
+      paths
+
+let route t pi =
+  if Array.length pi <> t.exposed then invalid_arg "Multistage.route: arity";
+  if not (Perm.is_valid pi) then invalid_arg "Multistage.route: not a permutation";
+  (* extend to the padded width: spare inputs map to spare outputs *)
+  let used = Array.make t.full false in
+  Array.iter (fun o -> used.(o) <- true) pi;
+  let spare = ref [] in
+  for o = t.full - 1 downto 0 do
+    if not used.(o) then spare := o :: !spare
+  done;
+  let spare = ref !spare in
+  let full_pi =
+    Array.init t.full (fun i ->
+        if i < t.exposed then pi.(i)
+        else begin
+          match !spare with
+          | o :: rest ->
+              spare := rest;
+              o
+          | [] -> assert false
+        end)
+  in
+  let all = route_node t.root full_pi in
+  Array.sub all 0 t.exposed

@@ -1,0 +1,30 @@
+(** Depth-parameterised rearrangeable networks: recursive Clos.
+
+    Pippenger and Yao [PY] (cited in the paper's references) study
+    rearrangeable networks of limited depth; the classical instances are
+    recursive Clos networks: a 3-stage Clos C(k, k, r) whose r×r middle
+    crossbars are themselves replaced by recursive instances.  Depth
+    2t+1 stages cost Θ(t·n^{1+1/(t+1)}) switches — interpolating between
+    the crossbar (t = 0) and Beneš (t = lg n − 1, k = 2).
+
+    Routing recurses the Slepian–Duguid matching decomposition: the top
+    level assigns every request a middle subnetwork, which is itself a
+    rearrangeable instance one level shallower. *)
+
+type t
+
+val make : ?k:int -> levels:int -> int -> t
+(** [make ~levels n] — a rearrangeable network on [n] terminals with
+    [levels] recursive Clos levels (0 = plain crossbar, 1 = 3-stage Clos,
+    …).  [k] fixes the ingress port count per level (default: balanced,
+    k ≈ n^{1/(levels+1)}).  n is padded up as needed; the network exposes
+    exactly [n] terminals. *)
+
+val network : t -> Network.t
+
+val route : t -> Ftcsn_util.Perm.t -> int list array
+(** Vertex-disjoint paths realising the permutation, by recursive
+    matching decomposition.  @raise Invalid_argument on arity mismatch. *)
+
+val stage_count : t -> int
+(** 2·levels + 1 crossbar stages. *)

@@ -1,0 +1,52 @@
+module Digraph = Ftcsn_graph.Digraph
+module Rng = Ftcsn_prng.Rng
+
+(* Recursive scheme, working over already-allocated terminal vertices:
+   build ins outs adds (1) matching edges ins.(i) -> outs.(i), (2) a random
+   degree-d concentrator ins -> mid (|mid| = ceil n/2), (3) recursion from
+   mid to mid', (4) the reversed concentrator mid' -> outs. *)
+let make ~rng ?(degree = 6) ?(cutoff = 8) n =
+  if n < 1 then invalid_arg "Valiant_sc.make";
+  let b = Digraph.Builder.create () in
+  let inputs = Array.init n (fun _ -> Digraph.Builder.add_vertex b) in
+  let outputs = Array.init n (fun _ -> Digraph.Builder.add_vertex b) in
+  let rec build ins outs =
+    let n = Array.length ins in
+    if n <= cutoff then begin
+      (* complete bipartite terminator *)
+      Array.iter
+        (fun i ->
+          Array.iter
+            (fun o -> ignore (Digraph.Builder.add_edge b ~src:i ~dst:o))
+            outs)
+        ins
+    end
+    else begin
+      for i = 0 to n - 1 do
+        ignore (Digraph.Builder.add_edge b ~src:ins.(i) ~dst:outs.(i))
+      done;
+      let half = (n + 1) / 2 in
+      let mid = Array.init half (fun _ -> Digraph.Builder.add_vertex b) in
+      let mid' = Array.init half (fun _ -> Digraph.Builder.add_vertex b) in
+      let d = min degree half in
+      Array.iter
+        (fun i ->
+          let targets = Rng.sample_without_replacement rng ~n:half ~k:d in
+          Array.iter
+            (fun t -> ignore (Digraph.Builder.add_edge b ~src:i ~dst:mid.(t)))
+            targets)
+        ins;
+      Array.iter
+        (fun o ->
+          let sources = Rng.sample_without_replacement rng ~n:half ~k:d in
+          Array.iter
+            (fun s -> ignore (Digraph.Builder.add_edge b ~src:mid'.(s) ~dst:o))
+            sources)
+        outs;
+      build mid mid'
+    end
+  in
+  build inputs outputs;
+  Network.make
+    ~name:(Printf.sprintf "valiant-sc-%d" n)
+    ~graph:(Digraph.Builder.freeze b) ~inputs ~outputs

@@ -1,0 +1,17 @@
+(** Linear-size superconcentrators (Valiant [V] / Gabber–Galil [GG]
+    recursion).
+
+    S(n): a perfect matching from the n inputs straight to the n outputs,
+    plus a degree-d concentrator into n/2 intermediate inputs, a recursive
+    S(n/2), and the mirrored concentrator back out.  Any r input–output
+    request splits into pairs served by the matching and at most n/2 pairs
+    concentrated into the recursion, giving O(n) switches in total.  The
+    concentrators here are seeded random bipartite graphs (certified by
+    {!Ftcsn_expander.Check} in the tests); the paper cites this family as
+    the size-optimal fault-free baseline an (ε, δ)-superconcentrator must
+    be compared against (Ω(n) vs its Ω(n log² n)). *)
+
+val make : rng:Ftcsn_prng.Rng.t -> ?degree:int -> ?cutoff:int -> int -> Network.t
+(** [make ~rng n]: an n-superconcentrator candidate; [degree] (default 6)
+    is the concentrator degree, [cutoff] (default 8) the size below which
+    a crossbar terminates the recursion.  [n] must be ≥ 1. *)

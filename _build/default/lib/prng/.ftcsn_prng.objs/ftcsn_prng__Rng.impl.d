@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Ftcsn_util Int64 Splitmix64

@@ -1,0 +1,1 @@
+lib/prng/rng.mli: Ftcsn_util

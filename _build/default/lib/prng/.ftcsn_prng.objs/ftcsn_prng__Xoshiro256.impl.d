@@ -1,0 +1,1 @@
+lib/prng/xoshiro256.ml: Array Int64 Splitmix64

@@ -1,0 +1,1 @@
+lib/prng/xoshiro256.mli:

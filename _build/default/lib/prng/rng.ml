@@ -1,0 +1,71 @@
+type t = Splitmix64.t
+
+let create ~seed = Splitmix64.create (Int64.of_int seed)
+
+let of_int64 = Splitmix64.create
+
+let split = Splitmix64.split
+
+let copy = Splitmix64.copy
+
+let int64 = Splitmix64.next
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits for exact uniformity. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let raw = Int64.to_int (Splitmix64.next t) land mask in
+    let v = raw mod bound in
+    if raw - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float t =
+  (* 53 high bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (Splitmix64.next t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (Splitmix64.next t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let binomial t ~n ~p =
+  if n < 0 then invalid_arg "Rng.binomial";
+  if p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if p < 0.05 && n > 64 then begin
+    (* Waiting-time (geometric-skip) method: O(np) expected draws. *)
+    let log1mp = log (1.0 -. p) in
+    let count = ref 0 in
+    let pos = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let u = float t in
+      let skip = int_of_float (floor (log (1.0 -. u) /. log1mp)) in
+      pos := !pos + 1 + skip;
+      if !pos < n then incr count else continue := false
+    done;
+    !count
+  end
+  else begin
+    let count = ref 0 in
+    for _ = 1 to n do
+      if float t < p then incr count
+    done;
+    !count
+  end
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n = Ftcsn_util.Perm.shuffle ~rand_int:(int t) n
+
+let sample_without_replacement t ~n ~k =
+  Ftcsn_util.Combinat.choose_indices ~rand_int:(int t) ~n ~k

@@ -1,0 +1,46 @@
+(** Deterministic random streams for simulations.
+
+    A thin, explicit-state facade over {!Splitmix64} (the only generator we
+    need: all draws here are for Monte-Carlo estimation and shuffling, not
+    cryptography).  Every consumer takes a [t] explicitly — there is no
+    global state — so fault-injection experiments are reproducible from
+    their seeds and subexperiments can be given independent substreams via
+    {!split}. *)
+
+type t
+
+val create : seed:int -> t
+
+val of_int64 : int64 -> t
+
+val split : t -> t
+(** Independent substream; the parent advances. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Uniform raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound), [bound > 0]; rejection-sampled
+    so it is exactly uniform. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val binomial : t -> n:int -> p:float -> int
+(** Number of successes in [n] Bernoulli(p) trials (direct simulation for
+    small n, inversion by waiting times for small p). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+
+val permutation : t -> int -> Ftcsn_util.Perm.t
+(** Uniform permutation of [0, n). *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int array
+(** Uniform k-subset of [0, n), sorted ascending. *)

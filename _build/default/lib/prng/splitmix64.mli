@@ -1,0 +1,19 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    Deterministic, trivially splittable, and the standard seeder for
+    xoshiro-family states.  Every Monte-Carlo experiment in this repository
+    is keyed by a SplitMix64 seed so results are bit-reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given 64-bit state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output (advances the state). *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    the parent. *)
+
+val copy : t -> t

@@ -1,0 +1,48 @@
+type t = { state : int64 array } (* 4 words *)
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  { state = Array.init 4 (fun _ -> Splitmix64.next sm) }
+
+let of_state words =
+  if Array.length words <> 4 then invalid_arg "Xoshiro256.of_state: need 4 words";
+  if Array.for_all (fun w -> Int64.equal w 0L) words then
+    invalid_arg "Xoshiro256.of_state: all-zero state";
+  { state = Array.copy words }
+
+let next t =
+  let s = t.state in
+  let result = Int64.mul (rotl (Int64.mul s.(1) 5L) 7) 9L in
+  let tmp = Int64.shift_left s.(1) 17 in
+  s.(2) <- Int64.logxor s.(2) s.(0);
+  s.(3) <- Int64.logxor s.(3) s.(1);
+  s.(1) <- Int64.logxor s.(1) s.(2);
+  s.(0) <- Int64.logxor s.(0) s.(3);
+  s.(2) <- Int64.logxor s.(2) tmp;
+  s.(3) <- rotl s.(3) 45;
+  result
+
+(* official jump polynomial for xoshiro256 *)
+let jump_poly =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let child = { state = Array.copy t.state } in
+  let acc = Array.make 4 0L in
+  Array.iter
+    (fun poly ->
+      for b = 0 to 63 do
+        if Int64.logand poly (Int64.shift_left 1L b) <> 0L then
+          for w = 0 to 3 do
+            acc.(w) <- Int64.logxor acc.(w) child.state.(w)
+          done;
+        ignore (next child)
+      done)
+    jump_poly;
+  Array.blit acc 0 child.state 0 4;
+  child
+
+let copy t = { state = Array.copy t.state }

@@ -1,0 +1,24 @@
+(** xoshiro256** pseudo-random generator (Blackman & Vigna 2018).
+
+    A higher-quality, larger-state alternative to {!Splitmix64} for long
+    Monte-Carlo runs; seeded from a SplitMix64 stream per the authors'
+    recommendation.  Exposes the same minimal surface so {!Rng} consumers
+    can be ported by swapping the module. *)
+
+type t
+
+val create : int64 -> t
+(** State seeded by expanding the given 64-bit seed through SplitMix64. *)
+
+val of_state : int64 array -> t
+(** Adopt a raw 4-word state.  @raise Invalid_argument unless exactly 4
+    words, not all zero. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val jump : t -> t
+(** A generator 2¹²⁸ steps ahead — non-overlapping substreams for
+    parallel experiments.  The parent is unchanged. *)
+
+val copy : t -> t

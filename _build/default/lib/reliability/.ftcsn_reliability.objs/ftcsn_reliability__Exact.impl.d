@@ -1,0 +1,1 @@
+lib/reliability/exact.ml: Array Fault Ftcsn_graph

@@ -1,0 +1,1 @@
+lib/reliability/exact.mli: Fault Ftcsn_graph

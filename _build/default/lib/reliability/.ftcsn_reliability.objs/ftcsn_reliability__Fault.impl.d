@@ -1,0 +1,1 @@
+lib/reliability/fault.ml: Array Format Ftcsn_graph Ftcsn_prng Ftcsn_util

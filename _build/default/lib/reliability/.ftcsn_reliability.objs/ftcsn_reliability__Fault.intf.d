@@ -1,0 +1,1 @@
+lib/reliability/fault.mli: Format Ftcsn_graph Ftcsn_prng Ftcsn_util

@@ -1,0 +1,1 @@
+lib/reliability/hammock.ml: Ftcsn_graph Monte_carlo Survivor

@@ -1,0 +1,1 @@
+lib/reliability/hammock.mli: Ftcsn_graph Ftcsn_prng Monte_carlo

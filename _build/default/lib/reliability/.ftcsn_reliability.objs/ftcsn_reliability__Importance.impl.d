@@ -1,0 +1,1 @@
+lib/reliability/importance.ml: Array Fault Ftcsn_graph Ftcsn_prng

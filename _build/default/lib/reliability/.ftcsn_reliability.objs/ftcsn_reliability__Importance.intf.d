@@ -1,0 +1,1 @@
+lib/reliability/importance.mli: Fault Ftcsn_graph Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/reliability/monte_carlo.ml: Fault Format Ftcsn_graph Ftcsn_prng Ftcsn_util

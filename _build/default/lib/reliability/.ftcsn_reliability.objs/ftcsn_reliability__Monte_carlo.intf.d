@@ -1,0 +1,1 @@
+lib/reliability/monte_carlo.mli: Fault Format Ftcsn_graph Ftcsn_prng

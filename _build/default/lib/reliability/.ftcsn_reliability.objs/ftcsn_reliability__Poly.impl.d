@@ -1,0 +1,1 @@
+lib/reliability/poly.ml: Array Exact Fault Format Ftcsn_graph Ftcsn_util Printf String

@@ -1,0 +1,1 @@
+lib/reliability/poly.mli: Fault Format Ftcsn_graph

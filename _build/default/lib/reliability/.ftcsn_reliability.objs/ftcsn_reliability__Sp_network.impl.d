@@ -1,0 +1,1 @@
+lib/reliability/sp_network.ml: Format Ftcsn_graph List Option

@@ -1,0 +1,1 @@
+lib/reliability/sp_network.mli: Format Ftcsn_graph

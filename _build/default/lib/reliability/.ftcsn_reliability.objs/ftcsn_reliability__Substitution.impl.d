@@ -1,0 +1,1 @@
+lib/reliability/substitution.ml: Array Fault Ftcsn_graph Sp_network Survivor

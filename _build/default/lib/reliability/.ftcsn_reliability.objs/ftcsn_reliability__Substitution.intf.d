@@ -1,0 +1,1 @@
+lib/reliability/substitution.mli: Fault Ftcsn_graph Sp_network

@@ -1,0 +1,1 @@
+lib/reliability/survivor.ml: Array Fault Ftcsn_graph Ftcsn_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/reliability/survivor.mli: Fault Ftcsn_graph

@@ -1,0 +1,27 @@
+module Digraph = Ftcsn_graph.Digraph
+
+let max_edges = 13
+
+let probability g ~eps_open ~eps_close f =
+  let m = Digraph.edge_count g in
+  if m > max_edges then invalid_arg "Exact.probability: too many edges";
+  let pattern = Array.make m Fault.Normal in
+  let p_normal = 1.0 -. eps_open -. eps_close in
+  let total = ref 0.0 in
+  (* Odometer over {normal, open, closed}^m carrying the pattern
+     probability incrementally. *)
+  let rec go e weight =
+    if e = m then begin
+      if f pattern then total := !total +. weight
+    end
+    else begin
+      pattern.(e) <- Fault.Normal;
+      go (e + 1) (weight *. p_normal);
+      pattern.(e) <- Fault.Open_failure;
+      go (e + 1) (weight *. eps_open);
+      pattern.(e) <- Fault.Closed_failure;
+      go (e + 1) (weight *. eps_close)
+    end
+  in
+  go 0 1.0;
+  !total

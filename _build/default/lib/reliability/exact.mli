@@ -1,0 +1,17 @@
+(** Exact event probabilities by enumeration of all 3^m fault patterns.
+
+    Used to validate the Monte-Carlo estimator and the series-parallel
+    recurrences of {!Sp_network} on small instances (m ≤ ~13; 3^13 ≈ 1.6M
+    patterns). *)
+
+val probability :
+  Ftcsn_graph.Digraph.t ->
+  eps_open:float ->
+  eps_close:float ->
+  (Fault.pattern -> bool) ->
+  float
+(** P[event] under the product measure of §3.  @raise Invalid_argument when
+    the graph has more than [max_edges] edges. *)
+
+val max_edges : int
+(** Enumeration ceiling (13). *)

@@ -1,0 +1,64 @@
+module Rng = Ftcsn_prng.Rng
+module Bitset = Ftcsn_util.Bitset
+module Digraph = Ftcsn_graph.Digraph
+
+type state = Normal | Open_failure | Closed_failure
+
+type pattern = state array
+
+let state_equal a b =
+  match (a, b) with
+  | Normal, Normal | Open_failure, Open_failure | Closed_failure, Closed_failure
+    ->
+      true
+  | (Normal | Open_failure | Closed_failure), _ -> false
+
+let pp_state ppf = function
+  | Normal -> Format.pp_print_string ppf "normal"
+  | Open_failure -> Format.pp_print_string ppf "open"
+  | Closed_failure -> Format.pp_print_string ppf "closed"
+
+let sample rng ~eps_open ~eps_close ~m =
+  if eps_open < 0.0 || eps_close < 0.0 || eps_open +. eps_close > 1.0 then
+    invalid_arg "Fault.sample: bad probabilities";
+  Array.init m (fun _ ->
+      let u = Rng.float rng in
+      if u < eps_open then Open_failure
+      else if u < eps_open +. eps_close then Closed_failure
+      else Normal)
+
+let all_normal m = Array.make m Normal
+
+let count pattern s =
+  Array.fold_left (fun acc x -> if state_equal x s then acc + 1 else acc) 0 pattern
+
+let failed_edges pattern =
+  let acc = ref [] in
+  for e = Array.length pattern - 1 downto 0 do
+    if not (state_equal pattern.(e) Normal) then acc := e :: !acc
+  done;
+  !acc
+
+let pattern_probability pattern ~eps_open ~eps_close =
+  let p_normal = 1.0 -. eps_open -. eps_close in
+  Array.fold_left
+    (fun acc s ->
+      acc
+      *.
+      match s with
+      | Normal -> p_normal
+      | Open_failure -> eps_open
+      | Closed_failure -> eps_close)
+    1.0 pattern
+
+let faulty_vertices g pattern =
+  let faulty = Bitset.create (Digraph.vertex_count g) in
+  Array.iteri
+    (fun e s ->
+      if not (state_equal s Normal) then begin
+        let src, dst = Digraph.edge_endpoints g e in
+        Bitset.add faulty src;
+        Bitset.add faulty dst
+      end)
+    pattern;
+  faulty

@@ -1,0 +1,38 @@
+(** The random switch failure model (paper, §1–§3).
+
+    Each switch (edge) is independently in one of three states:
+    - {e open failure} (probability ε₁): the switch is permanently off —
+      the edge ceases to exist;
+    - {e closed failure} (probability ε₂): the switch is permanently on —
+      the edge's endpoints contract to one vertex;
+    - {e normal} (probability 1 − ε₁ − ε₂): a controllable switch.
+
+    A fault pattern assigns a state to every edge id of a graph. *)
+
+type state = Normal | Open_failure | Closed_failure
+
+type pattern = state array
+(** Indexed by edge id. *)
+
+val state_equal : state -> state -> bool
+
+val pp_state : Format.formatter -> state -> unit
+
+val sample : Ftcsn_prng.Rng.t -> eps_open:float -> eps_close:float -> m:int -> pattern
+(** Independent per-edge sample.  Requires [eps_open + eps_close <= 1]. *)
+
+val all_normal : int -> pattern
+
+val count : pattern -> state -> int
+
+val failed_edges : pattern -> int list
+(** Ids of edges in either failure state, ascending. *)
+
+val pattern_probability : pattern -> eps_open:float -> eps_close:float -> float
+(** Product of per-edge state probabilities — the measure assigned to one
+    point of the event space Ω in §3. *)
+
+val faulty_vertices : Ftcsn_graph.Digraph.t -> pattern -> Ftcsn_util.Bitset.t
+(** Vertices incident to at least one failed edge — the paper's §6 notion
+    "say a vertex η of 𝒩 is faulty if an edge (ζ, η) or (η, ζ) is in open
+    or closed failure state". *)

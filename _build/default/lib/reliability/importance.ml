@@ -1,0 +1,53 @@
+module Digraph = Ftcsn_graph.Digraph
+module Rng = Ftcsn_prng.Rng
+
+type estimate = {
+  switch : int;
+  open_importance : float;
+  close_importance : float;
+}
+
+let importance ~trials ~rng ~graph ~eps ~event ~switches =
+  let m = Digraph.edge_count graph in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= m then invalid_arg "Importance.importance: switch id")
+    switches;
+  let counts_open = Array.make (Array.length switches) 0 in
+  let counts_close = Array.make (Array.length switches) 0 in
+  let counts_normal = Array.make (Array.length switches) 0 in
+  for _ = 1 to trials do
+    let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
+    Array.iteri
+      (fun idx e ->
+        let saved = pattern.(e) in
+        pattern.(e) <- Fault.Normal;
+        if event pattern then counts_normal.(idx) <- counts_normal.(idx) + 1;
+        pattern.(e) <- Fault.Open_failure;
+        if event pattern then counts_open.(idx) <- counts_open.(idx) + 1;
+        pattern.(e) <- Fault.Closed_failure;
+        if event pattern then counts_close.(idx) <- counts_close.(idx) + 1;
+        pattern.(e) <- saved)
+      switches
+  done;
+  let f c = float_of_int c /. float_of_int trials in
+  Array.mapi
+    (fun idx e ->
+      {
+        switch = e;
+        open_importance = f counts_open.(idx) -. f counts_normal.(idx);
+        close_importance = f counts_close.(idx) -. f counts_normal.(idx);
+      })
+    switches
+
+let rank ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
+  let m = Digraph.edge_count graph in
+  let switches = Rng.sample_without_replacement rng ~n:m ~k:(min sample m) in
+  let estimates = importance ~trials ~rng ~graph ~eps ~event ~switches in
+  Array.sort
+    (fun a b ->
+      compare
+        (b.open_importance +. b.close_importance)
+        (a.open_importance +. a.close_importance))
+    estimates;
+  estimates

@@ -1,0 +1,31 @@
+(** Monte-Carlo estimation of failure probabilities with confidence
+    intervals.
+
+    The (ε, δ) properties of §3 are expectations over fault patterns; above
+    ~13 edges exact enumeration (see {!Exact}) is infeasible, so experiments
+    estimate them from seeded samples and report Wilson 95% intervals. *)
+
+type estimate = {
+  successes : int;
+  trials : int;
+  mean : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+val estimate : trials:int -> rng:Ftcsn_prng.Rng.t -> (Ftcsn_prng.Rng.t -> bool) -> estimate
+(** Run the Bernoulli experiment [trials] times on independent substreams
+    split off [rng]; the estimate is of P[true]. *)
+
+val estimate_event :
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  graph:Ftcsn_graph.Digraph.t ->
+  eps_open:float ->
+  eps_close:float ->
+  (Fault.pattern -> bool) ->
+  estimate
+(** Specialisation: sample a fault pattern on [graph] per trial and test
+    the event. *)
+
+val pp : Format.formatter -> estimate -> unit

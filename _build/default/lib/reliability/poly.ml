@@ -1,0 +1,59 @@
+module Digraph = Ftcsn_graph.Digraph
+
+type t = {
+  coeffs : float array;
+  switches : int;
+}
+
+(* Classify every fault pattern by failure count: coeffs.(k) accumulates
+   the number of failing patterns with k failed switches, each weighted
+   2^-k so that eval's (2 eps)^k factor reproduces the per-pattern
+   eps^k measure (each failed switch is open or closed, eps each). *)
+let failure_polynomial g event =
+  let m = Digraph.edge_count g in
+  if m > Exact.max_edges then invalid_arg "Poly.failure_polynomial: too many edges";
+  let coeffs = Array.make (m + 1) 0.0 in
+  let pattern = Array.make m Fault.Normal in
+  let rec go e failed =
+    if e = m then begin
+      if event pattern then
+        coeffs.(failed) <- coeffs.(failed) +. (1.0 /. Ftcsn_util.Prob.pow 2.0 failed)
+    end
+    else begin
+      pattern.(e) <- Fault.Normal;
+      go (e + 1) failed;
+      pattern.(e) <- Fault.Open_failure;
+      go (e + 1) (failed + 1);
+      pattern.(e) <- Fault.Closed_failure;
+      go (e + 1) (failed + 1);
+      pattern.(e) <- Fault.Normal
+    end
+  in
+  go 0 0;
+  { coeffs; switches = m }
+
+let eval t ~eps =
+  let two_eps = 2.0 *. eps in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k c ->
+      if c <> 0.0 then
+        acc :=
+          !acc
+          +. c
+             *. Ftcsn_util.Prob.pow two_eps k
+             *. Ftcsn_util.Prob.pow (1.0 -. two_eps) (t.switches - k))
+    t.coeffs;
+  !acc
+
+let constant_term_vanishes t = t.coeffs.(0) = 0.0
+
+let delta_rescaling_bound t ~eps ~ratio =
+  if ratio <= 0.0 || ratio > 1.0 then invalid_arg "Poly.delta_rescaling_bound";
+  eval t ~eps:(eps *. ratio) <= (ratio *. eval t ~eps) +. 1e-12
+
+let pp ppf t =
+  Format.fprintf ppf "P(eps) over %d switches; counts by failure weight: [%s]"
+    t.switches
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.3g") t.coeffs)))

@@ -1,0 +1,38 @@
+(** Exact failure polynomials.
+
+    §3's δ-invariance argument rests on one structural fact: the failure
+    probability of a network is a {e polynomial} in ε whose constant term
+    vanishes ("the network does not fail unless some switch fails").
+    This module computes that polynomial exactly for small networks by
+    classifying each of the 3^m fault patterns by its failure count, so
+    the argument can be exhibited rather than asserted: coefficients,
+    evaluation, and the rescaling step P(εδ₁/δ₂) ≤ (δ₁/δ₂)·P(ε). *)
+
+type t = {
+  coeffs : float array;
+      (** [coeffs.(k)] = Σ over failing patterns with exactly k failed
+          switches of (number of open/closed assignments ways) /
+          2^k-weighting folded in: concretely, P(ε) = Σ_k coeffs.(k) ·
+          (2ε)^k · (1−2ε)^(m−k) when ε₁ = ε₂ = ε *)
+  switches : int;  (** m *)
+}
+
+val failure_polynomial :
+  Ftcsn_graph.Digraph.t -> (Fault.pattern -> bool) -> t
+(** Exact coefficient extraction by enumeration (m ≤ {!Exact.max_edges}).
+    [coeffs.(k)] counts the failing (pattern restricted to which switches
+    failed and how) combinations with k failures, normalised so that
+    {!eval} below is the exact failure probability. *)
+
+val eval : t -> eps:float -> float
+(** P(ε) at ε₁ = ε₂ = ε. *)
+
+val constant_term_vanishes : t -> bool
+(** coeffs.(0) = 0 — the §3 structural fact. *)
+
+val delta_rescaling_bound : t -> eps:float -> ratio:float -> bool
+(** Check P(ε·ratio) ≤ ratio · P(ε) for 0 < ratio ≤ 1 — the inequality
+    behind δ-invariance (every monomial of degree ≥ 1 shrinks by at least
+    [ratio]).  Numerical verification on this instance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Digraph = Ftcsn_graph.Digraph
+module Union_find = Ftcsn_util.Union_find
+
+type t = {
+  graph : Digraph.t;
+  vertex_image : int array;
+  edge_image : int array;
+  contracted_classes : int;
+}
+
+let contraction_classes g pattern =
+  let uf = Union_find.create (Digraph.vertex_count g) in
+  Array.iteri
+    (fun e s ->
+      if Fault.state_equal s Fault.Closed_failure then begin
+        let src, dst = Digraph.edge_endpoints g e in
+        Union_find.union uf src dst
+      end)
+    pattern;
+  Union_find.compress_labels uf
+
+let apply g pattern =
+  if Array.length pattern <> Digraph.edge_count g then
+    invalid_arg "Survivor.apply: pattern arity";
+  let label, classes = contraction_classes g pattern in
+  (* Keep only normal edges, then quotient; drop loops created by
+     contraction (a switch both of whose links merged is useless). *)
+  let normal, new_to_old =
+    Digraph.subgraph_by_edges_map g ~keep:(fun e ->
+        Fault.state_equal pattern.(e) Fault.Normal)
+  in
+  let quotient, qmap =
+    Digraph.quotient normal ~label ~classes ~drop_self_loops:true
+  in
+  let edge_image = Array.make (Digraph.edge_count g) (-1) in
+  Array.iteri
+    (fun new_id old_id -> edge_image.(old_id) <- qmap.(new_id))
+    new_to_old;
+  { graph = quotient; vertex_image = label; edge_image; contracted_classes = classes }
+
+let terminals_distinct t terminals =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun v ->
+      let c = t.vertex_image.(v) in
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    terminals
+
+let merged_pairs t terminals =
+  let by_class = Hashtbl.create 16 in
+  let pairs = ref [] in
+  List.iter
+    (fun v ->
+      let c = t.vertex_image.(v) in
+      (match Hashtbl.find_opt by_class c with
+      | Some w -> pairs := (w, v) :: !pairs
+      | None -> ());
+      Hashtbl.replace by_class c v)
+    terminals;
+  List.rev !pairs
+
+let shorted_by_closure g pattern ~a ~b =
+  let uf = Union_find.create (Digraph.vertex_count g) in
+  Array.iteri
+    (fun e s ->
+      if Fault.state_equal s Fault.Closed_failure then begin
+        let src, dst = Digraph.edge_endpoints g e in
+        Union_find.union uf src dst
+      end)
+    pattern;
+  Union_find.equiv uf a b
+
+let connected_ignoring_opens g pattern ~a ~b =
+  (* Conducting edges are those that still exist: normal or closed. *)
+  let exists_edge e = not (Fault.state_equal pattern.(e) Fault.Open_failure) in
+  let sub = Digraph.subgraph_by_edges g ~keep:exists_edge in
+  let dist = Ftcsn_graph.Traverse.bfs_directed sub ~sources:[ a ] in
+  dist.(b) >= 0

@@ -1,0 +1,38 @@
+(** Survivor-graph semantics of a fault pattern (paper, §2).
+
+    Applying a pattern to a graph G yields the random instance: closed
+    failures contract their endpoints, open failures delete their edges,
+    and the question of §3 is whether the {e normal-state} edges of the
+    instance still contain the desired network.  This module computes that
+    instance as a quotient graph plus the vertex/edge correspondences. *)
+
+type t = {
+  graph : Ftcsn_graph.Digraph.t;
+      (** quotient graph containing only surviving normal edges *)
+  vertex_image : int array;
+      (** original vertex → quotient vertex *)
+  edge_image : int array;
+      (** original edge id → surviving edge id, [-1] if the edge failed or
+          became a self-loop under contraction *)
+  contracted_classes : int;
+      (** number of quotient vertices *)
+}
+
+val apply : Ftcsn_graph.Digraph.t -> Fault.pattern -> t
+
+val terminals_distinct : t -> int list -> bool
+(** True iff no two of the given original vertices were contracted
+    together — the event bounded by the paper's Lemma 7. *)
+
+val merged_pairs : t -> int list -> (int * int) list
+(** The pairs of given terminals that did contract together. *)
+
+val shorted_by_closure : Ftcsn_graph.Digraph.t -> Fault.pattern -> a:int -> b:int -> bool
+(** True iff vertices [a] and [b] are connected using closed-failure edges
+    only (ignoring direction) — the two-terminal "short" event of
+    Proposition 1. *)
+
+val connected_ignoring_opens :
+  Ftcsn_graph.Digraph.t -> Fault.pattern -> a:int -> b:int -> bool
+(** True iff a directed path of non-open edges leads from [a] to [b] — the
+    complement of the two-terminal "open" event. *)

@@ -1,0 +1,1 @@
+lib/routing/backtrack.ml: Array Ftcsn_graph Ftcsn_networks List

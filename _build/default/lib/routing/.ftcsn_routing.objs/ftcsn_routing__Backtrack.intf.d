@@ -1,0 +1,1 @@
+lib/routing/backtrack.mli: Ftcsn_networks

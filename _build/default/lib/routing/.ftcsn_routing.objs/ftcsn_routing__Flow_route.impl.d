@@ -1,0 +1,1 @@
+lib/routing/flow_route.ml: Array Ftcsn_flow Ftcsn_networks List

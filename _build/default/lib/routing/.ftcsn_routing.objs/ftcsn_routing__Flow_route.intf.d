@@ -1,0 +1,1 @@
+lib/routing/flow_route.mli: Ftcsn_networks

@@ -1,0 +1,1 @@
+lib/routing/greedy.ml: Array Ftcsn_graph Ftcsn_networks Ftcsn_util List

@@ -1,0 +1,1 @@
+lib/routing/greedy.mli: Ftcsn_networks Ftcsn_util

@@ -1,0 +1,1 @@
+lib/routing/properties.ml: Array Backtrack Ftcsn_flow Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_util Hashtbl List Session String

@@ -1,0 +1,1 @@
+lib/routing/properties.mli: Ftcsn_networks Ftcsn_prng Ftcsn_util Session

@@ -1,0 +1,1 @@
+lib/routing/session.mli: Ftcsn_networks Ftcsn_prng

@@ -1,0 +1,1 @@
+lib/routing/wide_sense.ml: Array Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_util Fun Hashtbl List Printf String

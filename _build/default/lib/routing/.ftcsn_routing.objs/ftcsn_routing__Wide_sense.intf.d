@@ -1,0 +1,1 @@
+lib/routing/wide_sense.mli: Ftcsn_networks Ftcsn_prng Ftcsn_util

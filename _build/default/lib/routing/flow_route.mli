@@ -1,0 +1,24 @@
+(** Batch routing for superconcentrator-style requests.
+
+    A superconcentrator request (paper, §2) names a set of r inputs and a
+    set of r outputs but leaves the pairing free, so — unlike specified
+    pairings — it is exactly solvable by max-flow (Menger).  Used by the
+    task-queue example [Co] and by the property deciders. *)
+
+val connect :
+  ?forbidden:(int -> bool) ->
+  Ftcsn_networks.Network.t ->
+  input_indices:int array ->
+  output_indices:int array ->
+  int list list option
+(** Vertex-disjoint paths joining the chosen r inputs (by index) to the
+    chosen r outputs in some order; [None] if fewer than r disjoint paths
+    exist.  @raise Invalid_argument when the index sets differ in size. *)
+
+val max_throughput :
+  ?forbidden:(int -> bool) ->
+  Ftcsn_networks.Network.t ->
+  input_indices:int array ->
+  output_indices:int array ->
+  int
+(** Largest number of vertex-disjoint paths between the chosen sets. *)

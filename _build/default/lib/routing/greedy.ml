@@ -1,0 +1,53 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Traverse = Ftcsn_graph.Traverse
+module Bitset = Ftcsn_util.Bitset
+
+type t = {
+  net : Network.t;
+  allowed : int -> bool;
+  busy_set : Bitset.t;
+}
+
+let create ?(allowed = fun _ -> true) net =
+  {
+    net;
+    allowed;
+    busy_set = Bitset.create (Digraph.vertex_count net.Network.graph);
+  }
+
+let network t = t.net
+
+let busy t v = Bitset.mem t.busy_set v
+
+let route t ~input ~output =
+  if busy t input || busy t output then
+    invalid_arg "Greedy.route: endpoint already busy";
+  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
+  if not (ok input && ok output) then None
+  else begin
+    let path =
+      Traverse.shortest_path ~allowed:ok t.net.Network.graph ~src:input
+        ~dst:output
+    in
+    (match path with
+    | Some p -> List.iter (Bitset.add t.busy_set) p
+    | None -> ());
+    path
+  end
+
+let release t path = List.iter (Bitset.remove t.busy_set) path
+
+let route_many t requests =
+  List.map (fun (i, o) -> (i, o, route t ~input:i ~output:o)) requests
+
+let route_permutation t pi ~success =
+  let inputs = t.net.Network.inputs and outputs = t.net.Network.outputs in
+  Array.init (Array.length pi) (fun i ->
+      match route t ~input:inputs.(i) ~output:outputs.(pi.(i)) with
+      | Some p ->
+          incr success;
+          Some p
+      | None -> None)
+
+let clear t = Bitset.clear t.busy_set

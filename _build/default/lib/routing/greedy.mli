@@ -1,0 +1,36 @@
+(** Greedy path-finding for strictly nonblocking operation.
+
+    The paper (§4) notes that in its construction "routing can be performed
+    by a greedy application of a standard path-finding algorithm": to
+    serve a request, BFS from the input through idle (non-busy, non-faulty)
+    vertices to the output, then mark the path busy.  This module is that
+    algorithm over an explicit busy mask. *)
+
+type t
+
+val create : ?allowed:(int -> bool) -> Ftcsn_networks.Network.t -> t
+(** Fresh routing state; [allowed] excludes vertices globally (e.g. the
+    fault-stripped set). *)
+
+val network : t -> Ftcsn_networks.Network.t
+
+val busy : t -> int -> bool
+
+val route : t -> input:int -> output:int -> int list option
+(** Find a path of idle allowed vertices from terminal [input] to terminal
+    [output] (vertex ids), mark it busy, and return it.  [None] when
+    blocked; state unchanged in that case.
+    @raise Invalid_argument if either endpoint is already busy. *)
+
+val release : t -> int list -> unit
+(** Un-busy a previously routed path. *)
+
+val route_many : t -> (int * int) list -> (int * int * int list option) list
+(** Route requests in order; each result keeps its request. *)
+
+val route_permutation :
+  t -> Ftcsn_util.Perm.t -> success:int ref -> int list option array
+(** Route input i → output π(i) for all i in order, greedily (no
+    backtracking); [success] counts the requests served. *)
+
+val clear : t -> unit

@@ -1,0 +1,155 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Bitset = Ftcsn_util.Bitset
+module Rng = Ftcsn_prng.Rng
+
+type path_choice =
+  | Shortest
+  | Randomised of Rng.t
+
+type stats = {
+  offered : int;
+  served : int;
+  blocked : int;
+  released : int;
+  max_concurrent : int;
+}
+
+type t = {
+  net : Network.t;
+  allowed : int -> bool;
+  busy_set : Bitset.t;
+  calls : (int, int * int list) Hashtbl.t;
+      (** input index -> (output index, path) *)
+  output_busy : bool array;
+  mutable offered : int;
+  mutable served : int;
+  mutable blocked : int;
+  mutable released : int;
+  mutable max_concurrent : int;
+  choice : path_choice;
+}
+
+let create ?(allowed = fun _ -> true) ~choice net =
+  {
+    net;
+    allowed;
+    busy_set = Bitset.create (Digraph.vertex_count net.Network.graph);
+    calls = Hashtbl.create 64;
+    output_busy = Array.make (Network.n_outputs net) false;
+    offered = 0;
+    served = 0;
+    blocked = 0;
+    released = 0;
+    max_concurrent = 0;
+    choice;
+  }
+
+(* BFS with optionally shuffled neighbour order: with shuffling each run
+   samples one of the shortest-ish idle paths. *)
+let find_path t ~src ~dst =
+  let g = t.net.Network.graph in
+  let n = Digraph.vertex_count g in
+  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let neighbours = Digraph.out_neighbours g u in
+    (match t.choice with
+    | Shortest -> ()
+    | Randomised rng -> Rng.shuffle_in_place rng neighbours);
+    Array.iter
+      (fun v ->
+        if (not !found) && (not seen.(v)) && (v = dst || ok v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          if v = dst then found := true else Queue.add v queue
+        end)
+      neighbours
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+    Some (walk dst [])
+  end
+
+let request t ~input ~output =
+  if Hashtbl.mem t.calls input then
+    invalid_arg "Session.request: input already in a call";
+  if t.output_busy.(output) then
+    invalid_arg "Session.request: output already in a call";
+  t.offered <- t.offered + 1;
+  let src = t.net.Network.inputs.(input)
+  and dst = t.net.Network.outputs.(output) in
+  match find_path t ~src ~dst with
+  | None ->
+      t.blocked <- t.blocked + 1;
+      None
+  | Some path ->
+      List.iter (Bitset.add t.busy_set) path;
+      Hashtbl.replace t.calls input (output, path);
+      t.output_busy.(output) <- true;
+      t.served <- t.served + 1;
+      t.max_concurrent <- max t.max_concurrent (Hashtbl.length t.calls);
+      Some path
+
+let hangup t ~input =
+  match Hashtbl.find_opt t.calls input with
+  | None -> raise Not_found
+  | Some (output, path) ->
+      List.iter (Bitset.remove t.busy_set) path;
+      Hashtbl.remove t.calls input;
+      t.output_busy.(output) <- false;
+      t.released <- t.released + 1
+
+let live_calls t =
+  Hashtbl.fold (fun i (o, _) acc -> (i, o) :: acc) t.calls []
+
+let stats t =
+  {
+    offered = t.offered;
+    served = t.served;
+    blocked = t.blocked;
+    released = t.released;
+    max_concurrent = t.max_concurrent;
+  }
+
+let run_random_traffic t ~rng ~steps ~arrival_prob =
+  let n_in = Network.n_inputs t.net and n_out = Network.n_outputs t.net in
+  for _ = 1 to steps do
+    let live = Hashtbl.length t.calls in
+    let arrive =
+      (live = 0 || Rng.bernoulli rng arrival_prob) && live < min n_in n_out
+    in
+    if arrive then begin
+      (* uniform idle input and output *)
+      let idle_inputs =
+        List.filter (fun i -> not (Hashtbl.mem t.calls i)) (List.init n_in Fun.id)
+      in
+      let idle_outputs =
+        List.filter (fun o -> not t.output_busy.(o)) (List.init n_out Fun.id)
+      in
+      match (idle_inputs, idle_outputs) with
+      | [], _ | _, [] -> ()
+      | _ ->
+          let input = List.nth idle_inputs (Rng.int rng (List.length idle_inputs)) in
+          let output =
+            List.nth idle_outputs (Rng.int rng (List.length idle_outputs))
+          in
+          ignore (request t ~input ~output)
+    end
+    else begin
+      let live = live_calls t in
+      match live with
+      | [] -> ()
+      | _ ->
+          let input, _ = List.nth live (Rng.int rng (List.length live)) in
+          hangup t ~input
+    end
+  done;
+  stats t

@@ -1,0 +1,46 @@
+(** Online circuit-switching sessions: calls arrive and depart over time.
+
+    This is the operational meaning of "nonblocking" (paper, §2): given
+    any set of established vertex-disjoint calls, a new request between
+    idle terminals must be servable.  The simulator drives a network
+    through random arrival/departure traffic — with either cooperative
+    (shortest-path) or randomised path choice, the latter standing in for
+    the adversary in stress tests — and records every blocking event. *)
+
+type path_choice =
+  | Shortest  (** deterministic BFS path *)
+  | Randomised of Ftcsn_prng.Rng.t
+      (** BFS with randomly shuffled tie-breaking: samples among (near-)
+          shortest paths, adversary-ish for stress testing *)
+
+type stats = {
+  offered : int;  (** requests attempted *)
+  served : int;
+  blocked : int;
+  released : int;
+  max_concurrent : int;
+}
+
+type t
+
+val create : ?allowed:(int -> bool) -> choice:path_choice -> Ftcsn_networks.Network.t -> t
+
+val request : t -> input:int -> output:int -> int list option
+(** Terminals given by index.  [None] (and a recorded blocking event) if
+    no idle path exists.
+    @raise Invalid_argument if either terminal is busy with another call. *)
+
+val hangup : t -> input:int -> unit
+(** Release the call established from input index [input].
+    @raise Not_found when that input has no live call. *)
+
+val live_calls : t -> (int * int) list
+(** (input index, output index) pairs currently established. *)
+
+val stats : t -> stats
+
+val run_random_traffic :
+  t -> rng:Ftcsn_prng.Rng.t -> steps:int -> arrival_prob:float -> stats
+(** Drive the session: each step, with [arrival_prob] pick a random idle
+    input/output pair and request it, otherwise hang up a random live
+    call.  Returns cumulative stats. *)

@@ -1,0 +1,56 @@
+(** Wide-sense nonblocking operation (Feldman, Friedman & Pippenger [FFP],
+    cited in §2 and §4 of the paper).
+
+    A network is {e wide-sense} nonblocking when some routing {e strategy}
+    can serve every adversarial sequence of call and hang-up requests —
+    weaker than strict nonblocking (where {e every} routing works, so the
+    greedy strategy suffices) but stronger than rearrangeable.
+
+    This module pits a pluggable strategy against (a) the exhaustive
+    adversary (game search over all request sequences, for tiny networks)
+    and (b) randomised adversaries (stress, for larger ones).  It
+    separates the three classes operationally: on a strictly nonblocking
+    network every strategy wins; on a wide-sense-only network the right
+    strategy wins where greedy loses; on a merely-rearrangeable network
+    every strategy loses some sequence. *)
+
+type state = {
+  net : Ftcsn_networks.Network.t;
+  busy : Ftcsn_util.Bitset.t;  (** vertices used by established calls *)
+  calls : (int * int * int list) list;  (** (input idx, output idx, path) *)
+}
+
+type strategy = state -> input:int -> output:int -> int list option
+(** Given the current state and an idle request (terminal indices), pick a
+    path of currently-idle vertices (including both terminal vertices) or
+    give up.  The driver validates the returned path. *)
+
+val greedy_strategy : strategy
+(** Shortest idle path (BFS). *)
+
+val packing_strategy : strategy
+(** Prefer the idle path whose interior vertices have the fewest idle
+    alternatives ("pack" heavily-shared middles last).  Implemented as
+    best-of-all-shortest via per-middle scoring on 3-stage networks and
+    falling back to BFS elsewhere. *)
+
+type game_result =
+  | Strategy_wins  (** the strategy served every sequence explored *)
+  | Adversary_wins of (int * int) list * (int * int)
+      (** live calls and the request the strategy failed on *)
+  | Budget_exceeded
+
+val adversary_game :
+  ?max_states:int -> strategy -> Ftcsn_networks.Network.t -> game_result
+(** Exhaustive adversary: explores every reachable configuration under
+    the strategy's deterministic choices (requests and hang-ups in all
+    orders).  Memoised on (busy set, live call set); exponential — tiny
+    networks only. *)
+
+val stress :
+  steps:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  strategy ->
+  Ftcsn_networks.Network.t ->
+  int * int
+(** Randomised adversary; returns (offered, blocked). *)

@@ -1,0 +1,1 @@
+lib/util/combinat.ml: Array Float Lazy

@@ -1,0 +1,1 @@
+lib/util/prob.ml: Combinat Float

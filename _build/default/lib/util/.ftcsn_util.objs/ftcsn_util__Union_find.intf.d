@@ -1,0 +1,1 @@
+lib/util/union_find.mli:

@@ -1,0 +1,73 @@
+type t = {
+  words : int array; (* 63-bit words would waste a bit; we use all 63 usable *)
+  cap : int;
+}
+
+let bits_per_word = 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; cap = n }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy t = { words = Array.copy t.words; cap = t.cap }
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i l -> i :: l) t [])
+
+let same_cap a b = if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_cap dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_cardinal a b =
+  same_cap a b;
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let disjoint a b = inter_cardinal a b = 0

@@ -1,0 +1,39 @@
+(** Fixed-capacity bit sets over [0, capacity).
+
+    Used for busy-vertex masks during routing and visited sets in graph
+    traversals where allocation-free membership tests matter. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0, n). *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Population count; O(capacity/64). *)
+
+val clear : t -> unit
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]; capacities must match. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection; capacities must match. *)
+
+val disjoint : t -> t -> bool

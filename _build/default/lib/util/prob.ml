@@ -1,0 +1,69 @@
+let pow x k =
+  if k < 0 then invalid_arg "Prob.pow";
+  let rec go base k acc =
+    if k = 0 then acc
+    else go (base *. base) (k / 2) (if k land 1 = 1 then acc *. base else acc)
+  in
+  go x k 1.0
+
+(* log of the binomial pmf at k, stable for large n *)
+let log_pmf ~n ~p ~k =
+  if p <= 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else if p >= 1.0 then (if k = n then 0.0 else neg_infinity)
+  else
+    Combinat.log_binomial n k
+    +. (float_of_int k *. log p)
+    +. (float_of_int (n - k) *. log (1.0 -. p))
+
+let binomial_tail_ge ~n ~p ~k =
+  if k <= 0 then 1.0
+  else if k > n then 0.0
+  else begin
+    (* Sum pmf from k to n in log space, largest-first for stability. *)
+    let acc = ref 0.0 in
+    for i = k to n do
+      acc := !acc +. exp (log_pmf ~n ~p ~k:i)
+    done;
+    Float.min 1.0 !acc
+  end
+
+let binomial_tail_le ~n ~p ~k =
+  if k >= n then 1.0
+  else if k < 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. exp (log_pmf ~n ~p ~k:i)
+    done;
+    Float.min 1.0 !acc
+  end
+
+let relative_entropy a p =
+  let term x y =
+    if x = 0.0 then 0.0 else x *. log (x /. y)
+  in
+  term a p +. term (1.0 -. a) (1.0 -. p)
+
+let chernoff_upper ~n ~p ~k =
+  let a = float_of_int k /. float_of_int n in
+  if a <= p then 1.0
+  else exp (-.float_of_int n *. relative_entropy a p)
+
+let wilson_interval ~successes ~trials ~z =
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let phat = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (phat +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom
+      *. sqrt ((phat *. (1.0 -. phat) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (Float.max 0.0 (centre -. half), Float.min 1.0 (centre +. half))
+  end
+
+let moore_shannon_bound ~eps ~len ~count =
+  let p_path_all_closed = pow eps len in
+  1.0 -. pow (1.0 -. p_path_all_closed) count

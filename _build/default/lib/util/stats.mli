@@ -1,0 +1,33 @@
+(** Streaming summary statistics (Welford) and simple aggregates. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val of_array : float array -> t
+
+val median_of_sorted : float array -> float
+(** Median of an ascending-sorted array.  @raise Invalid_argument if empty. *)
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted a q] with q in [0,1], linear interpolation. *)

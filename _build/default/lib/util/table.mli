@@ -1,0 +1,34 @@
+(** ASCII table rendering for the experiment harness.
+
+    Every experiment in EXPERIMENTS.md prints through this module so that
+    paper-style rows ("n, size, size/(n log^2 n), ...") come out aligned and
+    machine-greppable. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val fi : int -> string
+
+val ff : ?decimals:int -> float -> string
+
+val fe : float -> string
+(** Scientific notation with two significant decimals, e.g. ["1.23e-04"]. *)
+
+val fratio : float -> float -> string
+(** ["a/b"] as a fixed-point ratio, ["-"] when the denominator is zero. *)

@@ -1,0 +1,68 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  csize : int array;
+  mutable classes : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    csize = Array.make n 1;
+    classes = n;
+  }
+
+let size t = Array.length t.parent
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.classes <- t.classes - 1;
+    if t.rank.(ra) < t.rank.(rb) then begin
+      t.parent.(ra) <- rb;
+      t.csize.(rb) <- t.csize.(rb) + t.csize.(ra)
+    end
+    else if t.rank.(rb) < t.rank.(ra) then begin
+      t.parent.(rb) <- ra;
+      t.csize.(ra) <- t.csize.(ra) + t.csize.(rb)
+    end
+    else begin
+      t.parent.(rb) <- ra;
+      t.csize.(ra) <- t.csize.(ra) + t.csize.(rb);
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let equiv t a b = find t a = find t b
+
+let class_count t = t.classes
+
+let class_size t i = t.csize.(find t i)
+
+let representatives t = Array.init (size t) (fun i -> find t i)
+
+let compress_labels t =
+  let n = size t in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    if label.(r) = -1 then begin
+      label.(r) <- !next;
+      incr next
+    end
+  done;
+  for i = 0 to n - 1 do
+    label.(i) <- label.(find t i)
+  done;
+  (label, !next)

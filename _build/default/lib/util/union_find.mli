@@ -1,0 +1,32 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    Closed switch failures contract edge endpoints (paper, §2); the
+    contraction quotient is computed with this structure. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton classes [0 .. n-1]. *)
+
+val size : t -> int
+(** The universe size [n]. *)
+
+val find : t -> int -> int
+(** Canonical representative, with path compression. *)
+
+val union : t -> int -> int -> unit
+
+val equiv : t -> int -> int -> bool
+
+val class_count : t -> int
+(** Number of distinct classes. *)
+
+val class_size : t -> int -> int
+(** Number of elements in the class of the argument. *)
+
+val representatives : t -> int array
+(** For each element, its canonical representative (a fresh array). *)
+
+val compress_labels : t -> int array * int
+(** [compress_labels t] is [(label, k)] where [label.(i)] is a dense id in
+    [0, k) shared exactly by equivalent elements. *)

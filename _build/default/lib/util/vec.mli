@@ -1,0 +1,48 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is a small, allocation-conscious
+    replacement used throughout the graph builders and routing scratch
+    structures.  Elements beyond [length] are garbage and never observed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] raises [Invalid_argument] when [i] is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append one element, growing the backing store geometrically. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.  @raise Invalid_argument if empty. *)
+
+val last : 'a t -> 'a
+
+val clear : 'a t -> unit
+(** Reset to length 0 (keeps the backing store). *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array copy of the live prefix. *)
+
+val of_array : 'a array -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ftcsn Ftcsn_flow Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Ftcsn_util Fun Hashtbl List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Array Ftcsn_expander Ftcsn_graph Ftcsn_prng Ftcsn_reliability Ftcsn_util Fun List Printf QCheck2 QCheck_alcotest

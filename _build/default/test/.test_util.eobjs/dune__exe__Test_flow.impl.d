@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Ftcsn_flow Ftcsn_graph Ftcsn_prng Ftcsn_util Fun List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Ftcsn_graph Ftcsn_prng Ftcsn_util List Printf QCheck2 QCheck_alcotest String

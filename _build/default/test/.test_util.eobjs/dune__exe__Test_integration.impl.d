@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Ftcsn Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_reliability Ftcsn_routing Ftcsn_util Fun List

@@ -1,0 +1,1 @@
+test/test_networks.ml: Alcotest Array Ftcsn_expander Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_routing Ftcsn_util Fun List Printf QCheck2 QCheck_alcotest

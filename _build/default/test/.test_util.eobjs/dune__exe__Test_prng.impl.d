@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Ftcsn_prng Ftcsn_util Fun Hashtbl Int64 List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Float Ftcsn_graph Ftcsn_prng Ftcsn_reliability Ftcsn_util List Printf QCheck2 QCheck_alcotest

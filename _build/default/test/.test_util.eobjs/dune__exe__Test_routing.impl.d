@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Format Ftcsn_graph Ftcsn_networks Ftcsn_prng Ftcsn_routing Ftcsn_util List QCheck2 QCheck_alcotest

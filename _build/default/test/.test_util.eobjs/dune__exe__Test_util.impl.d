@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Ftcsn_prng Ftcsn_util Hashtbl List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,148 @@
+(* End-to-end tests of the ftnet CLI binary: every subcommand is invoked
+   as a subprocess with fixed seeds, and its stdout is checked for the
+   expected, deterministic content. *)
+
+(* the test binary lives in _build/default/test; the CLI sits next door in
+   _build/default/bin regardless of the invocation directory *)
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "ftnet.exe"))
+
+let run args =
+  let tmp = Filename.temp_file "ftnet" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" exe args tmp in
+  let code = Sys.command cmd in
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let out = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  (code, out)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name out needle =
+  if not (contains out needle) then
+    Alcotest.failf "%s: expected %S in output:\n%s" name needle out
+
+let test_build () =
+  let code, out = run "build --family benes -n 8 --seed 1" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "build" out "benes-8";
+  check_contains "build" out "size=80";
+  check_contains "build" out "acyclic: true";
+  check_contains "build" out "degrees:"
+
+let test_build_ft () =
+  let code, out = run "build --family ft -n 8 --seed 1" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "build ft" out "n=8x8";
+  check_contains "build ft" out "size=4352"
+
+let test_faults () =
+  let code, out = run "faults --family benes -n 16 --eps 0.02 --seed 3" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "faults" out "switches: 224";
+  check_contains "faults" out "stripped vertices:";
+  check_contains "faults" out "terminals shorted:"
+
+let test_route () =
+  let code, out = run "route --family ft -n 4 --eps 0.0 --seed 2" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "route" out "requests: 4, routed: 4, blocked: 0"
+
+let test_route_verbose () =
+  let code, out = run "route --family crossbar -n 3 --eps 0.0 -v --seed 2" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "route -v" out "0 ->"
+
+let test_check () =
+  let code, out = run "check --family benes -n 4 --seed 1" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "check" out "superconcentrator: yes (exhaustive)";
+  check_contains "check" out "rearrangeable: yes (exhaustive)";
+  check_contains "check" out "strictly nonblocking: NO"
+
+let test_check_crossbar () =
+  let code, out = run "check --family crossbar -n 3 --seed 1" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "check crossbar" out "strictly nonblocking: yes (exhaustive)"
+
+let test_survive () =
+  let code, out = run "survive --family butterfly -n 8 --eps 0.01 --trials 40 --seed 5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "survive" out "P[survives eps=0.01";
+  check_contains "survive" out "40 trials"
+
+let test_degrade () =
+  let code, out = run "degrade --family ft -n 8 --hazard 1e-5 --ticks 200 --seed 4" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "degrade" out "ticks=200";
+  check_contains "degrade" out "placed="
+
+let test_critical () =
+  let code, out =
+    run "critical --family benes -n 4 --eps 0.05 --sample 6 --trials 50 --seed 2"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "critical" out "most critical sampled switches";
+  check_contains "critical" out "open +"
+
+let test_render_grid () =
+  let code, out = run "render --kind grid -n 4" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "render grid" out "o---o"
+
+let test_render_census () =
+  let code, out = run "render --kind census --family benes -n 8" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "render census" out "stage | vertices | out-edges"
+
+let test_render_dot () =
+  let code, out = run "render --kind dot --family crossbar -n 2" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "render dot" out "digraph";
+  check_contains "render dot" out "v0 -> v2"
+
+let test_unknown_family_fails () =
+  let code, _ = run "build --family nosuch -n 4" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let test_help () =
+  let code, out = run "--help=plain" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "help" out "ftnet";
+  List.iter
+    (fun sub -> check_contains "help lists subcommand" out sub)
+    [
+      "build"; "faults"; "route"; "check"; "survive"; "degrade"; "critical";
+      "render";
+    ]
+
+let () =
+  (* run only when the binary exists (dune dependency guarantees it) *)
+  Alcotest.run "ftnet_cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "build" `Quick test_build;
+          Alcotest.test_case "build ft" `Quick test_build_ft;
+          Alcotest.test_case "faults" `Quick test_faults;
+          Alcotest.test_case "route" `Quick test_route;
+          Alcotest.test_case "route verbose" `Quick test_route_verbose;
+          Alcotest.test_case "check benes" `Slow test_check;
+          Alcotest.test_case "check crossbar" `Quick test_check_crossbar;
+          Alcotest.test_case "survive" `Quick test_survive;
+          Alcotest.test_case "degrade" `Quick test_degrade;
+          Alcotest.test_case "critical" `Quick test_critical;
+          Alcotest.test_case "render grid" `Quick test_render_grid;
+          Alcotest.test_case "render census" `Quick test_render_census;
+          Alcotest.test_case "render dot" `Quick test_render_dot;
+          Alcotest.test_case "unknown family" `Quick test_unknown_family_fails;
+          Alcotest.test_case "help" `Quick test_help;
+        ] );
+    ]

@@ -1,0 +1,1009 @@
+(* Tests for the core library: directed grids, the FT construction,
+   fault stripping, majority access, Lemma-1 tree paths, the Theorem-1
+   certificates, and the end-to-end pipeline. *)
+
+module Directed_grid = Ftcsn.Directed_grid
+module Ft_params = Ftcsn.Ft_params
+module Ft_network = Ftcsn.Ft_network
+module Fault_strip = Ftcsn.Fault_strip
+module Majority_access = Ftcsn.Majority_access
+module Tree_paths = Ftcsn.Tree_paths
+module Lower_bound = Ftcsn.Lower_bound
+module Pipeline = Ftcsn.Pipeline
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Fault = Ftcsn_reliability.Fault
+module Rng = Ftcsn_prng.Rng
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------- Directed_grid ---------- *)
+
+let test_grid_counts () =
+  let s = Directed_grid.make ~rows:4 ~stages:8 in
+  check "vertices" 32 (Digraph.vertex_count s.Directed_grid.graph);
+  check "edges" (Directed_grid.edge_count ~rows:4 ~stages:8)
+    (Digraph.edge_count s.Directed_grid.graph);
+  check "edge formula" (2 * 4 * 7) (Directed_grid.edge_count ~rows:4 ~stages:8)
+
+let test_grid_structure_fig4 () =
+  (* Fig. 4 is the (4, 8)-directed grid: every non-last-column vertex has a
+     straight and a wrapping diagonal successor *)
+  let s = Directed_grid.make ~rows:4 ~stages:8 in
+  let g = s.Directed_grid.graph in
+  for col = 0 to 6 do
+    for row = 0 to 3 do
+      let v = Directed_grid.vertex_at s.Directed_grid.grid ~row ~col in
+      check "out degree" 2 (Digraph.out_degree g v);
+      let targets = Array.to_list (Digraph.out_neighbours g v) in
+      checkb "straight" true
+        (List.mem (Directed_grid.vertex_at s.Directed_grid.grid ~row ~col:(col + 1)) targets);
+      checkb "diagonal wraps" true
+        (List.mem
+           (Directed_grid.vertex_at s.Directed_grid.grid ~row:((row + 1) mod 4)
+              ~col:(col + 1))
+           targets)
+    done
+  done;
+  (* last column has no successors *)
+  for row = 0 to 3 do
+    check "last col sinks" 0
+      (Digraph.out_degree g (Directed_grid.vertex_at s.Directed_grid.grid ~row ~col:7))
+  done
+
+let test_grid_single_row () =
+  let s = Directed_grid.make ~rows:1 ~stages:5 in
+  check "chain edges" 4 (Digraph.edge_count s.Directed_grid.graph)
+
+let test_grid_splice () =
+  let b = Digraph.Builder.create () in
+  let pre = Array.init 3 (fun _ -> Digraph.Builder.add_vertex b) in
+  let grid = Directed_grid.build ~builder:b ~rows:3 ~stages:4 ~first_column:pre () in
+  Alcotest.(check (array int)) "first column reused" pre grid.Directed_grid.columns.(0);
+  let g = Digraph.Builder.freeze b in
+  check "vertices" (3 * 4) (Digraph.vertex_count g);
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Directed_grid.build: first_column arity") (fun () ->
+      let b2 = Digraph.Builder.create () in
+      let bad = Array.init 2 (fun _ -> Digraph.Builder.add_vertex b2) in
+      ignore (Directed_grid.build ~builder:b2 ~rows:3 ~stages:4 ~first_column:bad ()))
+
+let test_grid_render () =
+  let s = Directed_grid.make ~rows:4 ~stages:8 in
+  let art = Directed_grid.render s in
+  checkb "rendered" true (String.length art > 50)
+
+let test_grid_column_cut () =
+  (* cutting one full column separates first and last columns: the min cut
+     is exactly [rows] (Lemma 3's counting starts at cuts of size l) *)
+  let s = Directed_grid.make ~rows:5 ~stages:6 in
+  let grid = s.Directed_grid.grid in
+  let sources = Array.to_list grid.Directed_grid.columns.(0) in
+  let sinks = Array.to_list grid.Directed_grid.columns.(5) in
+  let cut =
+    Ftcsn_flow.Menger.max_vertex_disjoint s.Directed_grid.graph
+      ~sources:(Array.of_list sources) ~sinks:(Array.of_list sinks)
+  in
+  check "min cut = rows" 5 cut
+
+(* ---------- Ft_params ---------- *)
+
+let test_params_paper () =
+  let p = Ft_params.paper ~u:2 in
+  check "n" 16 (Ft_params.n p);
+  (* gamma = ceil(log4 68) = 4 (4^3=64 < 68 <= 256=4^4) *)
+  check "gamma" 4 p.Ft_params.gamma;
+  check "grid rows" (64 * 256) (Ft_params.grid_rows p);
+  checkb "validates" true (Ft_params.validate p = Ok ())
+
+let test_params_scaled_and_validation () =
+  let p = Ft_params.scaled ~u:3 () in
+  check "n" 8 (Ft_params.n p);
+  check "levels" 5 (Ft_params.middle_levels p);
+  checkb "validates" true (Ft_params.validate p = Ok ());
+  Alcotest.check_raises "u=0" (Invalid_argument "Ft_params.scaled") (fun () ->
+      ignore (Ft_params.scaled ~u:0 ()))
+
+let test_params_predictions_match_build () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun u ->
+      let p = Ft_params.scaled ~u () in
+      let ft = Ft_network.make ~rng p in
+      check
+        (Printf.sprintf "size u=%d" u)
+        (Ft_params.predicted_size p)
+        (Network.size ft.Ft_network.net);
+      check
+        (Printf.sprintf "depth u=%d" u)
+        (Ft_params.predicted_depth p)
+        (Network.depth ft.Ft_network.net))
+    [ 1; 2; 3; 4 ]
+
+(* ---------- Ft_network ---------- *)
+
+let build_small () =
+  let rng = Rng.create ~seed:2 in
+  Ft_network.make ~rng (Ft_params.scaled ~u:2 ())
+
+let test_ft_structure () =
+  let ft = build_small () in
+  let net = ft.Ft_network.net in
+  check "inputs" 4 (Network.n_inputs net);
+  check "outputs" 4 (Network.n_outputs net);
+  checkb "acyclic" true (Network.is_acyclic net);
+  check "input grids" 4 (Array.length ft.Ft_network.input_grids);
+  check "output grids" 4 (Array.length ft.Ft_network.output_grids)
+
+let test_ft_grid_identification () =
+  (* the middle's first stage must literally be the grids' last columns *)
+  let ft = build_small () in
+  let p = ft.Ft_network.params in
+  let rows = Ft_params.grid_rows p in
+  let first_stage = ft.Ft_network.middle.Ftcsn_networks.Recursive_nb.stages.(0) in
+  Array.iteri
+    (fun i grid ->
+      let last_col = grid.Directed_grid.columns.(p.Ft_params.grid_stages - 1) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "grid %d identified" i)
+        last_col
+        (Array.sub first_stage (i * rows) rows))
+    ft.Ft_network.input_grids
+
+let test_ft_input_fanout () =
+  let ft = build_small () in
+  let g = ft.Ft_network.net.Network.graph in
+  let rows = Ft_params.grid_rows ft.Ft_network.params in
+  Array.iter
+    (fun i -> check "input fan-out = grid rows" rows (Digraph.out_degree g i))
+    ft.Ft_network.net.Network.inputs;
+  Array.iter
+    (fun o -> check "output fan-in = grid rows" rows (Digraph.in_degree g o))
+    ft.Ft_network.net.Network.outputs
+
+let test_ft_every_pair_connected () =
+  let ft = build_small () in
+  let net = ft.Ft_network.net in
+  Array.iter
+    (fun i ->
+      let d = Ftcsn_graph.Traverse.bfs_directed net.Network.graph ~sources:[ i ] in
+      Array.iter (fun o -> checkb "pair connected" true (d.(o) >= 0)) net.Network.outputs)
+    net.Network.inputs
+
+let test_ft_stage_census () =
+  let ft = build_small () in
+  let census = Ft_network.stage_census ft in
+  (match census with
+  | ("inputs", n, _) :: _ -> check "first row inputs" 4 n
+  | _ -> Alcotest.fail "census starts with inputs");
+  (match List.rev census with
+  | ("outputs", n, 0) :: _ -> check "last row outputs" 4 n
+  | _ -> Alcotest.fail "census ends with outputs");
+  (* interior stage widths all equal wf * beta^(u+gamma) = 4 * 2^4 = 64 *)
+  List.iter
+    (fun (label, width, _) ->
+      if label <> "inputs" && label <> "outputs" then
+        check ("width at " ^ label) 64 width)
+    census
+
+let test_ft_fault_free_routes_everything () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10 do
+    let r = Ftcsn_routing.Greedy.create ft.Ft_network.net in
+    let pi = Rng.permutation rng 4 in
+    let success = ref 0 in
+    ignore (Ftcsn_routing.Greedy.route_permutation r pi ~success);
+    check "all greedy-routed" 4 !success
+  done
+
+let test_ft_rejects_bad_params () =
+  let rng = Rng.create ~seed:4 in
+  let p = { (Ft_params.scaled ~u:2 ()) with Ft_params.gamma = 0 } in
+  Alcotest.check_raises "gamma 0"
+    (Invalid_argument
+       "Ft_network.make: gamma must be >= 1 (grids need a block to land on)")
+    (fun () -> ignore (Ft_network.make ~rng p))
+
+(* ---------- Fault_strip ---------- *)
+
+let test_strip_no_faults () =
+  let ft = build_small () in
+  let net = ft.Ft_network.net in
+  let pattern = Fault.all_normal (Network.size net) in
+  let s = Fault_strip.strip net pattern in
+  checkb "healthy" true (Fault_strip.healthy s);
+  Alcotest.(check (float 1e-9)) "nothing stripped" 0.0
+    (Fault_strip.stripped_fraction net s);
+  Alcotest.(check (list int)) "no isolation" [] (Fault_strip.isolated_inputs net s)
+
+let test_strip_marks_faulty_endpoints () =
+  let g = Digraph.of_edges ~n:4 [| (0, 1); (1, 2); (2, 3) |] in
+  let net = Network.make ~name:"chain" ~graph:g ~inputs:[| 0 |] ~outputs:[| 3 |] in
+  let pattern = [| Fault.Normal; Fault.Open_failure; Fault.Normal |] in
+  let s = Fault_strip.strip net pattern in
+  checkb "vertex 1 stripped" false (s.Fault_strip.allowed 1);
+  checkb "vertex 2 stripped" false (s.Fault_strip.allowed 2);
+  (* input becomes isolated: its only route used vertex 1 *)
+  Alcotest.(check (list int)) "isolated" [ 0 ] (Fault_strip.isolated_inputs net s)
+
+let test_strip_radius_one () =
+  let g = Digraph.of_edges ~n:5 [| (0, 1); (1, 2); (2, 3); (3, 4) |] in
+  let net = Network.make ~name:"chain" ~graph:g ~inputs:[| 0 |] ~outputs:[| 4 |] in
+  let pattern = [| Fault.Normal; Fault.Open_failure; Fault.Normal; Fault.Normal |] in
+  let s0 = Fault_strip.strip ~radius:0 net pattern in
+  let s1 = Fault_strip.strip ~radius:1 net pattern in
+  checkb "radius 0 keeps 3" true (s0.Fault_strip.allowed 3);
+  checkb "radius 1 strips 3" false (s1.Fault_strip.allowed 3);
+  checkb "radius 1 strips 0's neighbourhood correctly" true
+    (Ftcsn_util.Bitset.cardinal s1.Fault_strip.stripped
+    > Ftcsn_util.Bitset.cardinal s0.Fault_strip.stripped)
+
+let test_strip_terminals_stay_allowed () =
+  let g = Digraph.of_edges ~n:3 [| (0, 1); (1, 2) |] in
+  let net = Network.make ~name:"chain" ~graph:g ~inputs:[| 0 |] ~outputs:[| 2 |] in
+  let pattern = [| Fault.Open_failure; Fault.Normal |] in
+  let s = Fault_strip.strip net pattern in
+  checkb "faulty input still allowed (terminal)" true (s.Fault_strip.allowed 0)
+
+let test_strip_detects_short () =
+  let g = Digraph.of_edges ~n:2 [| (0, 1) |] in
+  let net = Network.make ~name:"pair" ~graph:g ~inputs:[| 0 |] ~outputs:[| 1 |] in
+  let s = Fault_strip.strip net [| Fault.Closed_failure |] in
+  checkb "short detected" false (Fault_strip.healthy s);
+  Alcotest.(check (list (pair int int))) "pair" [ (0, 1) ]
+    s.Fault_strip.shorted_terminals
+
+(* ---------- Majority_access ---------- *)
+
+let test_majority_access_clean () =
+  let ft = build_small () in
+  let net = ft.Ft_network.net in
+  checkb "fault-free majority access" true
+    (Majority_access.is_majority_access net
+       ~allowed:(fun _ -> true)
+       ~busy:(fun _ -> false))
+
+let test_majority_access_busy_input_skipped () =
+  let net = Ftcsn_networks.Crossbar.square 3 in
+  let busy v = v = net.Network.inputs.(0) in
+  let counts =
+    Majority_access.input_access_counts net ~allowed:(fun _ -> true) ~busy
+  in
+  check "busy marked" (-1) counts.(0);
+  check "idle sees all" 3 counts.(1)
+
+let test_majority_access_with_block () =
+  (* an input with all its outputs cut off fails the majority test *)
+  let g = Digraph.of_edges ~n:4 [| (0, 2); (1, 2); (2, 3) |] in
+  let net = Network.make ~name:"y" ~graph:g ~inputs:[| 0; 1 |] ~outputs:[| 3 |] in
+  checkb "fails when junction forbidden" false
+    (Majority_access.is_majority_access net ~allowed:(fun v -> v <> 2)
+       ~busy:(fun _ -> false))
+
+let test_grid_access_lemma3 () =
+  let s = Directed_grid.make ~rows:6 ~stages:5 in
+  (* the row index can only grow by one per stage, so 4 transitions from
+     one source row reach exactly 5 of the 6 last-column rows *)
+  check "access when healthy" 5
+    (Majority_access.grid_last_column_access s ~faulty:(fun _ -> false)
+       ~source_row:2);
+  (* kill one full column except one vertex: access drops to <= rows but
+     stays positive through the surviving vertex *)
+  let grid = s.Directed_grid.grid in
+  let col2 = grid.Directed_grid.columns.(2) in
+  let survivor = col2.(0) in
+  let faulty v = Array.exists (fun w -> w = v) col2 && v <> survivor in
+  let access =
+    Majority_access.grid_last_column_access s ~faulty ~source_row:0
+  in
+  checkb "bottleneck narrows but keeps access" true (access >= 1 && access <= 6);
+  (* kill the whole column: no access *)
+  check "column cut isolates" 0
+    (Majority_access.grid_last_column_access s
+       ~faulty:(fun v -> Array.exists (fun w -> w = v) col2)
+       ~source_row:0)
+
+(* ---------- Tree_paths (Lemma 1) ---------- *)
+
+let test_tree_paths_star () =
+  (* star with 3 leaves: all pairs within distance 2 *)
+  let t = Tree_paths.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check (list int)) "leaves" [ 1; 2; 3 ] (Tree_paths.leaves t);
+  checkb "forest" true (Tree_paths.is_forest t);
+  checkb "internal ok" true (Tree_paths.internal_degrees_ok t);
+  let paths = Tree_paths.short_leaf_paths t in
+  check "one disjoint path" 1 (List.length paths)
+
+let test_tree_paths_two_cherries () =
+  (* path of two internal nodes each with two leaves: two disjoint paths *)
+  let t =
+    Tree_paths.of_edges ~n:6 [ (0, 1); (0, 2); (0, 3); (3, 4); (3, 5) ]
+  in
+  let paths = Tree_paths.short_leaf_paths t in
+  check "two paths" 2 (List.length paths);
+  (* edge-disjointness *)
+  let edges_of path =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (min a b, max a b) :: go rest
+      | _ -> []
+    in
+    go path
+  in
+  let all = List.concat_map edges_of paths in
+  check "edge-disjoint" (List.length all) (List.length (List.sort_uniq compare all))
+
+let test_tree_paths_lemma1_bound_random () =
+  let rng = Rng.create ~seed:8 in
+  List.iter
+    (fun l ->
+      let t = Tree_paths.random_internal3_tree ~rng ~leaves:l in
+      check (Printf.sprintf "leaf count %d" l) l (List.length (Tree_paths.leaves t));
+      checkb "forest" true (Tree_paths.is_forest t);
+      checkb "degrees" true (Tree_paths.internal_degrees_ok t);
+      let paths = Tree_paths.short_leaf_paths t in
+      List.iter
+        (fun p -> checkb "short" true (List.length p <= 4))
+        paths;
+      checkb
+        (Printf.sprintf "lemma bound at l=%d" l)
+        true
+        (List.length paths >= Tree_paths.lemma1_lower_bound ~leaves:l))
+    [ 3; 10; 50; 200; 1000 ]
+
+let test_contract_stretches () =
+  (* path a-b-c-d-e with internal degree-2 chain contracts to one edge *)
+  let t = Tree_paths.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let c = Tree_paths.contract_stretches t in
+  check "endpoints joined" 1 (Tree_paths.degree c 0);
+  Alcotest.(check (list int)) "0 adj 4" [ 4 ] (Array.to_list c.Tree_paths.adj.(0));
+  check "interior isolated" 0 (Tree_paths.degree c 2)
+
+let test_contract_preserves_branching () =
+  (* Y with stretched arms: contraction restores degree-3 centre *)
+  let t =
+    Tree_paths.of_edges ~n:7
+      [ (0, 1); (1, 2); (0, 3); (3, 4); (0, 5); (5, 6) ]
+  in
+  let c = Tree_paths.contract_stretches t in
+  check "centre degree" 3 (Tree_paths.degree c 0);
+  Alcotest.(check (list int)) "centre adj" [ 2; 4; 6 ]
+    (List.sort compare (Array.to_list c.Tree_paths.adj.(0)));
+  checkb "no degree-2 left" true (Tree_paths.internal_degrees_ok c)
+
+let test_fig_gadgets () =
+  let t1, bad = Tree_paths.fig1_bad_leaf () in
+  checkb "fig1 forest" true (Tree_paths.is_forest t1);
+  checkb "fig1 degrees" true (Tree_paths.internal_degrees_ok t1);
+  check "bad leaf isolated at distance 4" 4 (Tree_paths.nearest_leaf_distance t1 bad);
+  let t3, path = Tree_paths.fig3_path_with_unlucky () in
+  checkb "fig3 forest" true (Tree_paths.is_forest t3);
+  check "central path length 3" 4 (List.length path);
+  (* the central path's ends are leaves at distance 3 *)
+  (match path with
+  | first :: _ -> check "end is leaf" 1 (Tree_paths.degree t3 first)
+  | [] -> Alcotest.fail "empty path")
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Tree_paths.of_edges: duplicate")
+    (fun () -> ignore (Tree_paths.of_edges ~n:3 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "self loop" (Invalid_argument "Tree_paths.of_edges: bad edge")
+    (fun () -> ignore (Tree_paths.of_edges ~n:3 [ (1, 1) ]))
+
+(* ---------- Lower_bound (Theorem 1) ---------- *)
+
+let test_lower_bound_defaults () =
+  check "threshold at n=4096" 1 (Lower_bound.default_threshold ~n:4096);
+  check "threshold large" 2 (Lower_bound.default_threshold ~n:(1 lsl 24));
+  check "radius" 1 (Lower_bound.default_radius ~threshold:3);
+  checkb "theorem bounds positive" true
+    (Lower_bound.theorem1_size_bound ~n:1024 > 0.0
+    && Lower_bound.theorem1_depth_bound ~n:1024 > 0.0)
+
+let test_good_inputs_spread () =
+  (* in a crossbar all inputs are within distance 2 of each other, so a
+     threshold of 3 keeps only one good input *)
+  let net = Ftcsn_networks.Crossbar.square 4 in
+  check "one survivor" 1 (Array.length (Lower_bound.good_inputs ~threshold:3 net));
+  (* threshold 1 keeps everything *)
+  check "all survive" 4 (Array.length (Lower_bound.good_inputs ~threshold:1 net))
+
+let test_zones_on_chain () =
+  (* chain 0-1-2-3-4: zones around 0 have exactly one edge each *)
+  let g = Digraph.of_edges ~n:5 [| (0, 1); (1, 2); (2, 3); (3, 4) |] in
+  let net = Network.make ~name:"chain" ~graph:g ~inputs:[| 0 |] ~outputs:[| 4 |] in
+  let z = Lower_bound.zones_of_input net ~radius:3 ~input_vertex:0 in
+  Alcotest.(check (array int)) "zone sizes" [| 1; 1; 1 |] z.Lower_bound.zone_sizes;
+  check "min" 1 z.Lower_bound.min_zone;
+  check "total" 3 z.Lower_bound.neighbourhood_edges
+
+let test_zones_on_ft_network () =
+  let ft = build_small () in
+  let report = Lower_bound.analyse ~threshold:3 ~radius:1 ft.Ft_network.net in
+  checkb "some good inputs" true (Array.length report.Lower_bound.good_input_vertices >= 1);
+  List.iter
+    (fun z ->
+      (* zone 1 around an input counts its fan-out switches *)
+      check "first zone = grid rows"
+        (Ft_params.grid_rows ft.Ft_network.params)
+        z.Lower_bound.min_zone)
+    report.Lower_bound.zones;
+  check "depth certificate" 2 report.Lower_bound.depth_certificate
+
+let test_analyse_depth_certificate_validity () =
+  (* the certificate must never exceed the true depth *)
+  let ft = build_small () in
+  let report = Lower_bound.analyse ~threshold:3 ~radius:1 ft.Ft_network.net in
+  checkb "certificate <= actual depth" true
+    (report.Lower_bound.depth_certificate <= Network.depth ft.Ft_network.net)
+
+let test_lemma2_certificate_crossbar () =
+  (* crossbar inputs are all within distance 2: every input links, and
+     short shorting families exist in quantity *)
+  let net = Ftcsn_networks.Crossbar.square 8 in
+  let cert = Lower_bound.lemma2_certificate ~threshold:3 net in
+  check "all inputs linked" 8 cert.Lower_bound.linked_inputs;
+  checkb "families found" true (List.length cert.Lower_bound.shorting_families >= 2);
+  (* every family joins two distinct inputs via an edge-disjoint path *)
+  let all_edges =
+    List.concat_map
+      (fun path ->
+        let rec go = function
+          | a :: (b :: _ as rest) -> (min a b, max a b) :: go rest
+          | _ -> []
+        in
+        go path)
+      cert.Lower_bound.shorting_families
+  in
+  check "edge-disjoint families" (List.length all_edges)
+    (List.length (List.sort_uniq compare all_edges))
+
+let test_lemma2_certificate_ft_sparse () =
+  (* FT nets keep inputs far apart: at the same threshold no input links,
+     so there are no cheap shorting opportunities — the structural
+     dichotomy Lemma 2 turns into the depth bound *)
+  let ft = build_small () in
+  let cert = Lower_bound.lemma2_certificate ~threshold:3 ft.Ft_network.net in
+  check "no inputs linked" 0 cert.Lower_bound.linked_inputs;
+  check "no families" 0 (List.length cert.Lower_bound.shorting_families)
+
+let test_lemma2_certificate_benes () =
+  let net = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 16) in
+  let cert = Lower_bound.lemma2_certificate ~threshold:3 net in
+  (* sibling inputs share a switch: they all link at distance 2 *)
+  check "all inputs linked" 16 cert.Lower_bound.linked_inputs;
+  checkb "families found" true (cert.Lower_bound.shorting_families <> [])
+
+(* ---------- Pipeline ---------- *)
+
+let test_pipeline_no_faults_survive () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:9 in
+  let v = Pipeline.trial ~rng ~eps:0.0 ft.Ft_network.net in
+  Alcotest.(check string) "survives" "survived" (Pipeline.verdict_label v)
+
+let test_pipeline_total_failure () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:10 in
+  (* eps = 0.5/0.5: every switch fails; terminals short or isolate *)
+  let v = Pipeline.trial ~rng ~eps:0.5 ft.Ft_network.net in
+  checkb "fails" true (v <> Pipeline.Survived)
+
+let test_pipeline_survival_monotone () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:11 in
+  let at eps =
+    (Pipeline.survival ~trials:30 ~rng ~eps ft.Ft_network.net)
+      .Ftcsn_reliability.Monte_carlo.mean
+  in
+  let lo = at 1e-4 and hi = at 0.2 in
+  checkb "more faults, less survival" true (lo >= hi);
+  checkb "low eps survives mostly" true (lo > 0.8)
+
+let test_pipeline_ft_beats_benes () =
+  let ft = build_small () in
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 4) in
+  let rng = Rng.create ~seed:12 in
+  let eps = 0.02 in
+  let ft_s =
+    (Pipeline.survival ~trials:40 ~rng ~eps ~probe:Pipeline.sc_probe_only
+       ft.Ft_network.net)
+      .Ftcsn_reliability.Monte_carlo.mean
+  in
+  let bn_s =
+    (Pipeline.survival ~trials:40 ~rng ~eps ~probe:Pipeline.sc_probe_only benes)
+      .Ftcsn_reliability.Monte_carlo.mean
+  in
+  checkb "headline: FT construction wins under faults" true (ft_s > bn_s)
+
+let test_pipeline_probe_presets () =
+  check "default greedy" 1 Pipeline.default_probe.Pipeline.greedy_permutations;
+  check "sc-only has no perms" 0 Pipeline.sc_probe_only.Pipeline.greedy_permutations;
+  check "rearrangeable uses exact" 1
+    Pipeline.rearrangeable_probe.Pipeline.exact_permutations
+
+(* ---------- Paper_bounds ---------- *)
+
+let test_paper_bounds_regimes () =
+  let eps = Ftcsn.Paper_bounds.paper_epsilon in
+  (* at the paper's eps = 1e-6 every bound is tiny for moderate u *)
+  checkb "lemma3 tiny" true (Ftcsn.Paper_bounds.lemma3_access_bound ~v:8 ~eps < 1e-20);
+  checkb "lemma7 tiny" true (Ftcsn.Paper_bounds.lemma7_shorting_bound ~u:8 ~eps < 1e-20);
+  checkb "lemma4 decays in mu" true
+    (Ftcsn.Paper_bounds.lemma4_outlet_bound ~mu:3
+    < Ftcsn.Paper_bounds.lemma4_outlet_bound ~mu:2);
+  checkb "lemma5 decays in u" true
+    (Ftcsn.Paper_bounds.lemma5_union_bound ~u:12
+    < Ftcsn.Paper_bounds.lemma5_union_bound ~u:6);
+  (* theorem 2 total failure bound goes to 0 as u grows *)
+  checkb "theorem2 vanishes" true
+    (Ftcsn.Paper_bounds.theorem2_failure_bound ~u:20 ~eps
+    < Ftcsn.Paper_bounds.theorem2_failure_bound ~u:10 ~eps);
+  (* lemma 2's complement: with eps = 1/4 the no-short probability is
+     small for large n, which is the contradiction the proof needs *)
+  checkb "lemma2 shrinks with n" true
+    (Ftcsn.Paper_bounds.lemma2_shorting_bound ~n:(1 lsl 16) ~eps:0.25
+    < Ftcsn.Paper_bounds.lemma2_shorting_bound ~n:(1 lsl 8) ~eps:0.25)
+
+(* ---------- Majority-access probe (Lemma 6) ---------- *)
+
+let test_majority_probe_ft_clean () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:80 in
+  checkb "fault-free ft keeps sampled majority access" true
+    (Majority_access.sampled_busy_majority ~trials:5 ~rng
+       ~allowed:(fun _ -> true)
+       ft.Ft_network.net)
+
+let test_majority_probe_detects_violation () =
+  (* a funnel network loses majority access as soon as a call occupies the
+     junction *)
+  let g =
+    Digraph.of_edges ~n:6 [| (0, 2); (1, 2); (2, 3); (3, 4); (3, 5) |]
+  in
+  let net =
+    Network.make ~name:"funnel" ~graph:g ~inputs:[| 0; 1 |] ~outputs:[| 4; 5 |]
+  in
+  let rng = Rng.create ~seed:81 in
+  checkb "funnel violates under load" false
+    (Majority_access.sampled_busy_majority ~trials:20 ~load:0.5 ~rng
+       ~allowed:(fun _ -> true)
+       net)
+
+let test_lemma6_probe_in_pipeline () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:82 in
+  let est =
+    Pipeline.survival ~trials:20 ~rng ~eps:1e-3
+      ~probe:Pipeline.lemma6_probe ft.Ft_network.net
+  in
+  checkb "lemma-6 certified survival at 1e-3" true
+    (est.Ftcsn_reliability.Monte_carlo.mean > 0.8)
+
+(* ---------- Transfer (§3) ---------- *)
+
+let test_transfer_harden_accounting () =
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 4) in
+  let h = Ftcsn.Transfer.harden ~eps:0.1 ~eps':0.01 benes in
+  check "size multiplied"
+    (Network.size benes * h.Ftcsn.Transfer.size_factor)
+    (Network.size h.Ftcsn.Transfer.network);
+  check "depth multiplied"
+    (Network.depth benes * h.Ftcsn.Transfer.depth_factor)
+    (Network.depth h.Ftcsn.Transfer.network);
+  let po, ps = Ftcsn.Transfer.logical_failure_rates h ~eps:0.1 in
+  checkb "logical open under target" true (po < 0.01);
+  checkb "logical short under target" true (ps < 0.01)
+
+let test_transfer_logical_roundtrip () =
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 4) in
+  let h = Ftcsn.Transfer.harden ~eps:0.1 ~eps':0.01 benes in
+  let m = Network.size h.Ftcsn.Transfer.network in
+  let logical = Ftcsn.Transfer.logical_pattern h (Fault.all_normal m) in
+  check "logical arity" (Network.size benes) (Array.length logical);
+  Array.iter
+    (fun s -> checkb "healthy" true (Fault.state_equal s Fault.Normal))
+    logical
+
+let test_transfer_improves_survival () =
+  (* hardened Benes must beat bare Benes at the component failure rate it
+     was designed for, judged at the logical level *)
+  let rng = Rng.create ~seed:70 in
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 4) in
+  let eps = 0.05 in
+  let h = Ftcsn.Transfer.harden ~eps ~eps':1e-3 benes in
+  let trials = 300 in
+  let bare_fail = ref 0 and hard_fail = ref 0 in
+  let logical_fails pattern =
+    Array.exists (fun s -> not (Fault.state_equal s Fault.Normal)) pattern
+  in
+  for _ = 1 to trials do
+    let bare = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Network.size benes) in
+    if logical_fails bare then incr bare_fail;
+    let phys =
+      Fault.sample rng ~eps_open:eps ~eps_close:eps
+        ~m:(Network.size h.Ftcsn.Transfer.network)
+    in
+    if logical_fails (Ftcsn.Transfer.logical_pattern h phys) then incr hard_fail
+  done;
+  checkb "hardening reduces logical failures" true (!hard_fail * 4 < !bare_fail)
+
+let test_transfer_delta_shift () =
+  Alcotest.(check (float 1e-12)) "halving delta halves eps" 0.005
+    (Ftcsn.Transfer.delta_shift ~eps:0.01 ~delta_from:0.5 ~delta_to:0.25);
+  Alcotest.(check (float 1e-12)) "growing delta caps at eps" 0.01
+    (Ftcsn.Transfer.delta_shift ~eps:0.01 ~delta_from:0.25 ~delta_to:0.5)
+
+(* ---------- Ft_session (degradation) ---------- *)
+
+let test_session_no_hazard_is_clean () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:71 in
+  let stats =
+    Ftcsn.Ft_session.run ~rng ~hazard:0.0 ~arrival:0.6 ~ticks:300
+      ft.Ft_network.net
+  in
+  check "full horizon" 300 stats.Ftcsn.Ft_session.ticks;
+  check "no drops" 0 stats.Ftcsn.Ft_session.dropped;
+  check "no blocks" 0 stats.Ftcsn.Ft_session.blocked;
+  check "no failures" 0 stats.Ftcsn.Ft_session.failed_switches;
+  checkb "no catastrophe" true (stats.Ftcsn.Ft_session.catastrophe_at = None);
+  checkb "traffic flowed" true (stats.Ftcsn.Ft_session.placed > 20)
+
+let test_session_hazard_accumulates () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:72 in
+  let stats =
+    Ftcsn.Ft_session.run ~rng ~hazard:1e-4 ~arrival:0.6 ~ticks:400
+      ft.Ft_network.net
+  in
+  checkb "some switches failed" true (stats.Ftcsn.Ft_session.failed_switches > 0);
+  checkb "reroutes covered drops" true
+    (stats.Ftcsn.Ft_session.rerouted <= stats.Ftcsn.Ft_session.dropped)
+
+let test_session_catastrophe_under_heavy_hazard () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:73 in
+  let stats =
+    Ftcsn.Ft_session.run ~rng ~hazard:0.05 ~arrival:0.6 ~ticks:500
+      ft.Ft_network.net
+  in
+  (* at 5% per tick the fabric must melt within the horizon *)
+  checkb "catastrophe happened" true
+    (stats.Ftcsn.Ft_session.catastrophe_at <> None);
+  checkb "ended early" true (stats.Ftcsn.Ft_session.ticks < 500)
+
+let test_session_mttd_ordering () =
+  (* Fair comparison: equal expected switch failures per tick (hazard
+     scaled inversely to size), so MTTD measures pure redundancy — how
+     many failures a fabric absorbs before service degrades.  At equal
+     per-switch hazard the FT net's larger switch count means
+     proportionally more exposure, which is the size-vs-tolerance trade
+     the paper prices, not a defect. *)
+  let ft = build_small () in
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 4) in
+  let rng = Rng.create ~seed:74 in
+  let failures_per_tick = 0.05 in
+  let mttd net =
+    let hazard = failures_per_tick /. float_of_int (Network.size net) in
+    Ftcsn.Ft_session.mean_time_to_degradation ~rng ~hazard ~trials:10
+      ~max_ticks:4000 net
+  in
+  let t_ft = mttd ft.Ft_network.net and t_benes = mttd benes in
+  checkb
+    (Printf.sprintf "ft %.0f > benes %.0f" t_ft t_benes)
+    true (t_ft > t_benes)
+
+let test_session_mttd_monotone_in_hazard () =
+  let ft = build_small () in
+  let rng = Rng.create ~seed:75 in
+  let mttd hazard =
+    Ftcsn.Ft_session.mean_time_to_degradation ~rng ~hazard ~trials:8
+      ~max_ticks:2000 ft.Ft_network.net
+  in
+  let slow = mttd 5e-5 and fast = mttd 2e-3 in
+  checkb (Printf.sprintf "slow %.0f >= fast %.0f" slow fast) true (slow >= fast)
+
+(* ---------- Ft_route (structured router) ---------- *)
+
+let test_ft_route_fault_free_all_perms () =
+  let ft = build_small () in
+  let plan = Ftcsn.Ft_route.plan ft in
+  Ftcsn_util.Perm.iter_all 4 (fun pi ->
+      let _, success =
+        Ftcsn.Ft_route.route_permutation plan ~allowed:(fun _ -> true)
+          (Array.copy pi)
+      in
+      check "all 4 routed" 4 success)
+
+let test_ft_route_paths_valid () =
+  let rng = Rng.create ~seed:90 in
+  let ft = Ft_network.make ~rng (Ft_params.scaled ~u:3 ()) in
+  let plan = Ftcsn.Ft_route.plan ft in
+  let g = ft.Ft_network.net.Network.graph in
+  for _ = 1 to 10 do
+    let pi = Rng.permutation rng 8 in
+    let paths, success =
+      Ftcsn.Ft_route.route_permutation plan ~allowed:(fun _ -> true) pi
+    in
+    check "all routed" 8 success;
+    let all = Array.to_list paths |> List.filter_map Fun.id |> List.concat in
+    check "disjoint" (List.length all) (List.length (List.sort_uniq compare all));
+    Array.iteri
+      (fun i p ->
+        match p with
+        | None -> ()
+        | Some p ->
+            check "starts at input" ft.Ft_network.net.Network.inputs.(i)
+              (List.hd p);
+            check "ends at output" ft.Ft_network.net.Network.outputs.(pi.(i))
+              (List.hd (List.rev p));
+            let rec edges = function
+              | a :: (b :: _ as rest) ->
+                  checkb "edge exists" true
+                    (Digraph.fold_out g a ~init:false ~f:(fun acc ~dst ~eid:_ ->
+                         acc || dst = b));
+                  edges rest
+              | _ -> ()
+            in
+            edges p)
+      paths
+  done
+
+let test_ft_route_respects_allowed () =
+  let ft = build_small () in
+  let plan = Ftcsn.Ft_route.plan ft in
+  (* forbid everything internal: no route can exist *)
+  let terminals = Network.terminals ft.Ft_network.net in
+  let allowed v = List.mem v terminals in
+  checkb "no route through forbidden interior" true
+    (Ftcsn.Ft_route.route plan ~allowed ~busy:(fun _ -> false) ~input:0
+       ~output:0
+    = None)
+
+let test_ft_route_under_faults_matches_bfs () =
+  let rng = Rng.create ~seed:91 in
+  let ft = Ft_network.make ~rng (Ft_params.scaled ~u:3 ()) in
+  let plan = Ftcsn.Ft_route.plan ft in
+  let net = ft.Ft_network.net in
+  for _ = 1 to 10 do
+    let pattern =
+      Fault.sample rng ~eps_open:0.01 ~eps_close:0.01 ~m:(Network.size net)
+    in
+    let strip = Fault_strip.strip net pattern in
+    let pi = Rng.permutation rng 8 in
+    let _, structured =
+      Ftcsn.Ft_route.route_permutation plan
+        ~allowed:strip.Fault_strip.allowed pi
+    in
+    let bfs_router =
+      Ftcsn_routing.Greedy.create ~allowed:strip.Fault_strip.allowed net
+    in
+    let bfs = ref 0 in
+    ignore (Ftcsn_routing.Greedy.route_permutation bfs_router pi ~success:bfs);
+    (* the structured router must not be materially worse than BFS *)
+    checkb
+      (Printf.sprintf "structured %d vs bfs %d" structured !bfs)
+      true
+      (structured >= !bfs - 1)
+  done
+
+(* ---------- qcheck properties ---------- *)
+
+let prop_ft_network_predictions =
+  QCheck2.Test.make ~name:"Ft_network matches analytic size/depth for random params"
+    ~count:30
+    QCheck2.Gen.(
+      tup5 (int_range 1 3) (int_range 1 2) (int_range 2 3) (int_range 1 3)
+        (int_range 1 4))
+    (fun (u, gamma, branching, width_factor, degree) ->
+      let p =
+        Ft_params.scaled ~branching ~width_factor ~degree ~gamma ~u ()
+      in
+      let rng = Rng.create ~seed:(Hashtbl.hash (u, gamma, branching, width_factor, degree)) in
+      let ft = Ft_network.make ~rng p in
+      Network.size ft.Ft_network.net = Ft_params.predicted_size p
+      && Network.depth ft.Ft_network.net = Ft_params.predicted_depth p
+      && Network.is_acyclic ft.Ft_network.net)
+
+let prop_fault_strip_soundness =
+  QCheck2.Test.make ~name:"stripped internal vertices are never allowed"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 30))
+    (fun (seed, pct) ->
+      let rng = Rng.create ~seed in
+      let net = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 8) in
+      let eps = float_of_int pct /. 100.0 /. 2.0 in
+      let pattern =
+        Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Network.size net)
+      in
+      let strip = Fault_strip.strip net pattern in
+      let terminals = Network.terminals net in
+      let ok = ref true in
+      Ftcsn_util.Bitset.iter
+        (fun v ->
+          if (not (List.mem v terminals)) && strip.Fault_strip.allowed v then
+            ok := false)
+        strip.Fault_strip.stripped;
+      (* and the surviving graph carries exactly the normal switches *)
+      !ok
+      && Digraph.edge_count strip.Fault_strip.normal_graph
+         = Fault.count pattern Fault.Normal)
+
+let prop_grid_degrees =
+  QCheck2.Test.make ~name:"directed grids have the Fig-4 degree structure"
+    ~count:50
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 1 10))
+    (fun (rows, stages) ->
+      let s = Directed_grid.make ~rows ~stages in
+      let g = s.Directed_grid.graph in
+      let expected_out col = if col = stages - 1 then 0 else if rows > 1 then 2 else 1 in
+      let ok = ref true in
+      for col = 0 to stages - 1 do
+        for row = 0 to rows - 1 do
+          let v = Directed_grid.vertex_at s.Directed_grid.grid ~row ~col in
+          if Digraph.out_degree g v <> expected_out col then ok := false
+        done
+      done;
+      !ok
+      && Digraph.edge_count g = Directed_grid.edge_count ~rows ~stages)
+
+let prop_tree_paths_invariants =
+  QCheck2.Test.make ~name:"short_leaf_paths: edge-disjoint, short, leaf-ended"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 3 120) int)
+    (fun (leaves, seed) ->
+      let rng = Rng.create ~seed in
+      let tree = Tree_paths.random_internal3_tree ~rng ~leaves in
+      let paths = Tree_paths.short_leaf_paths tree in
+      let edge_of a b = (min a b, max a b) in
+      let edges =
+        List.concat_map
+          (fun path ->
+            let rec go = function
+              | a :: (b :: _ as rest) -> edge_of a b :: go rest
+              | _ -> []
+            in
+            go path)
+          paths
+      in
+      List.length edges = List.length (List.sort_uniq compare edges)
+      && List.for_all
+           (fun path ->
+             List.length path <= 4
+             && Tree_paths.degree tree (List.hd path) = 1
+             && Tree_paths.degree tree (List.hd (List.rev path)) = 1)
+           paths
+      && List.length paths >= Tree_paths.lemma1_lower_bound ~leaves)
+
+let prop_transfer_size_accounting =
+  QCheck2.Test.make ~name:"harden multiplies size by the gadget size" ~count:20
+    QCheck2.Gen.(int_range 2 4)
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      let net = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make n) in
+      let h = Ftcsn.Transfer.harden ~eps:0.1 ~eps':0.05 net in
+      Network.size h.Ftcsn.Transfer.network
+      = Network.size net * h.Ftcsn.Transfer.size_factor)
+
+let core_props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_ft_network_predictions;
+      prop_fault_strip_soundness;
+      prop_grid_degrees;
+      prop_tree_paths_invariants;
+      prop_transfer_size_accounting;
+    ]
+
+let () =
+  Alcotest.run "ftcsn_core"
+    [
+      ( "directed-grid",
+        [
+          Alcotest.test_case "counts" `Quick test_grid_counts;
+          Alcotest.test_case "fig4 structure" `Quick test_grid_structure_fig4;
+          Alcotest.test_case "single row" `Quick test_grid_single_row;
+          Alcotest.test_case "splice" `Quick test_grid_splice;
+          Alcotest.test_case "render" `Quick test_grid_render;
+          Alcotest.test_case "column cut" `Quick test_grid_column_cut;
+        ] );
+      ( "ft-params",
+        [
+          Alcotest.test_case "paper" `Quick test_params_paper;
+          Alcotest.test_case "scaled" `Quick test_params_scaled_and_validation;
+          Alcotest.test_case "predictions" `Quick test_params_predictions_match_build;
+        ] );
+      ( "ft-network",
+        [
+          Alcotest.test_case "structure" `Quick test_ft_structure;
+          Alcotest.test_case "grid identification" `Quick test_ft_grid_identification;
+          Alcotest.test_case "terminal fans" `Quick test_ft_input_fanout;
+          Alcotest.test_case "pairs connected" `Quick test_ft_every_pair_connected;
+          Alcotest.test_case "stage census" `Quick test_ft_stage_census;
+          Alcotest.test_case "fault-free routing" `Quick
+            test_ft_fault_free_routes_everything;
+          Alcotest.test_case "param validation" `Quick test_ft_rejects_bad_params;
+        ] );
+      ( "fault-strip",
+        [
+          Alcotest.test_case "no faults" `Quick test_strip_no_faults;
+          Alcotest.test_case "marks endpoints" `Quick test_strip_marks_faulty_endpoints;
+          Alcotest.test_case "radius 1" `Quick test_strip_radius_one;
+          Alcotest.test_case "terminals stay" `Quick test_strip_terminals_stay_allowed;
+          Alcotest.test_case "detects short" `Quick test_strip_detects_short;
+        ] );
+      ( "majority-access",
+        [
+          Alcotest.test_case "clean" `Quick test_majority_access_clean;
+          Alcotest.test_case "busy input" `Quick test_majority_access_busy_input_skipped;
+          Alcotest.test_case "blocked junction" `Quick test_majority_access_with_block;
+          Alcotest.test_case "lemma 3 grid access" `Quick test_grid_access_lemma3;
+        ] );
+      ( "tree-paths",
+        [
+          Alcotest.test_case "star" `Quick test_tree_paths_star;
+          Alcotest.test_case "two cherries" `Quick test_tree_paths_two_cherries;
+          Alcotest.test_case "lemma 1 bound" `Quick test_tree_paths_lemma1_bound_random;
+          Alcotest.test_case "contract stretches" `Quick test_contract_stretches;
+          Alcotest.test_case "contract branching" `Quick test_contract_preserves_branching;
+          Alcotest.test_case "figure gadgets" `Quick test_fig_gadgets;
+          Alcotest.test_case "validation" `Quick test_of_edges_validation;
+        ] );
+      ( "lower-bound",
+        [
+          Alcotest.test_case "defaults" `Quick test_lower_bound_defaults;
+          Alcotest.test_case "good inputs" `Quick test_good_inputs_spread;
+          Alcotest.test_case "zones chain" `Quick test_zones_on_chain;
+          Alcotest.test_case "zones ft" `Quick test_zones_on_ft_network;
+          Alcotest.test_case "certificate validity" `Quick
+            test_analyse_depth_certificate_validity;
+          Alcotest.test_case "lemma2 crossbar" `Quick test_lemma2_certificate_crossbar;
+          Alcotest.test_case "lemma2 ft sparse" `Quick test_lemma2_certificate_ft_sparse;
+          Alcotest.test_case "lemma2 benes" `Quick test_lemma2_certificate_benes;
+        ] );
+      ( "paper-bounds",
+        [ Alcotest.test_case "regimes" `Quick test_paper_bounds_regimes ] );
+      ( "majority-probe",
+        [
+          Alcotest.test_case "ft clean" `Quick test_majority_probe_ft_clean;
+          Alcotest.test_case "funnel violation" `Quick
+            test_majority_probe_detects_violation;
+          Alcotest.test_case "lemma6 pipeline" `Quick test_lemma6_probe_in_pipeline;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "accounting" `Quick test_transfer_harden_accounting;
+          Alcotest.test_case "logical roundtrip" `Quick test_transfer_logical_roundtrip;
+          Alcotest.test_case "improves survival" `Quick test_transfer_improves_survival;
+          Alcotest.test_case "delta shift" `Quick test_transfer_delta_shift;
+        ] );
+      ( "ft-session",
+        [
+          Alcotest.test_case "no hazard" `Quick test_session_no_hazard_is_clean;
+          Alcotest.test_case "hazard accumulates" `Quick test_session_hazard_accumulates;
+          Alcotest.test_case "catastrophe" `Quick
+            test_session_catastrophe_under_heavy_hazard;
+          Alcotest.test_case "mttd ordering" `Slow test_session_mttd_ordering;
+          Alcotest.test_case "mttd monotone" `Slow
+            test_session_mttd_monotone_in_hazard;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "no faults" `Quick test_pipeline_no_faults_survive;
+          Alcotest.test_case "total failure" `Quick test_pipeline_total_failure;
+          Alcotest.test_case "monotone" `Quick test_pipeline_survival_monotone;
+          Alcotest.test_case "ft beats benes" `Quick test_pipeline_ft_beats_benes;
+          Alcotest.test_case "probe presets" `Quick test_pipeline_probe_presets;
+        ] );
+      ( "ft-route",
+        [
+          Alcotest.test_case "all perms" `Quick test_ft_route_fault_free_all_perms;
+          Alcotest.test_case "paths valid" `Quick test_ft_route_paths_valid;
+          Alcotest.test_case "respects allowed" `Quick test_ft_route_respects_allowed;
+          Alcotest.test_case "matches bfs under faults" `Quick
+            test_ft_route_under_faults_matches_bfs;
+        ] );
+      ("properties", core_props);
+    ]
