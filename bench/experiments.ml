@@ -37,6 +37,8 @@ module Lower_bound = Ftcsn.Lower_bound
 
 let quick = ref false
 
+let jobs = ref 1 (* worker domains for Monte-Carlo workloads (--jobs) *)
+
 let trials base = if !quick then max 10 (base / 10) else base
 
 let seed_of name = Hashtbl.hash name land 0xFFFF
@@ -106,8 +108,14 @@ let e1_hammock () =
   List.iter
     (fun (rows, width) ->
       let h = Hammock.make ~rows ~width in
-      let po = Hammock.open_failure_prob ~trials:(trials 20000) ~rng ~eps:0.05 h in
-      let ps = Hammock.short_failure_prob ~trials:(trials 20000) ~rng ~eps:0.05 h in
+      let po =
+        Hammock.open_failure_prob ~jobs:!jobs ~trials:(trials 20000) ~rng
+          ~eps:0.05 h
+      in
+      let ps =
+        Hammock.short_failure_prob ~jobs:!jobs ~trials:(trials 20000) ~rng
+          ~eps:0.05 h
+      in
       Table.add_row t2
         [
           Table.fi rows;
@@ -288,7 +296,8 @@ let e4_grid_access () =
         (fun eps ->
           let rng = rng_for (Printf.sprintf "e4-%d-%d" rows stages) in
           let est =
-            Monte_carlo.estimate ~trials:(trials 6000) ~rng (fun sub ->
+            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 6000) ~rng
+              (fun sub ->
                 grid_majority_access_trial sub s eps)
           in
           Table.add_row t
@@ -334,7 +343,8 @@ let e5_expander_faults () =
       List.iter
         (fun eps ->
           let est =
-            Monte_carlo.estimate ~trials:(trials 8000) ~rng (fun sub ->
+            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 8000) ~rng
+              (fun sub ->
                 let pattern = Fault.sample sub ~eps_open:eps ~eps_close:eps ~m in
                 let faulty = Fault.faulty_vertices g pattern in
                 let count =
@@ -431,7 +441,8 @@ let e6_shorting () =
         (fun eps ->
           let rng = rng_for ("e6" ^ net.Network.name) in
           let est =
-            Monte_carlo.estimate ~trials:(trials 4000) ~rng (fun sub ->
+            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 4000) ~rng
+              (fun sub ->
                 let pattern = Fault.sample sub ~eps_open:eps ~eps_close:eps ~m in
                 let strip = Fault_strip.strip net pattern in
                 not (Fault_strip.healthy strip))
@@ -496,7 +507,7 @@ let e7_survival () =
           (fun eps ->
             let rng = rng_for ("e7" ^ name) in
             let est =
-              Pipeline.survival ~trials:(trials 200) ~rng ~eps
+              Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng ~eps
                 ~probe:Pipeline.sc_probe_only net
             in
             Table.ff ~decimals:2 est.Monte_carlo.mean)
@@ -522,7 +533,7 @@ let e7_survival () =
           (fun eps ->
             let rng = rng_for ("e7b" ^ name) in
             let est =
-              Pipeline.survival ~trials:(trials 200) ~rng ~eps
+              Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng ~eps
                 ~probe:Pipeline.default_probe net
             in
             Table.ff ~decimals:2 est.Monte_carlo.mean)
@@ -764,7 +775,7 @@ let a1_ablations () =
   let survival name net =
     let rng = rng_for ("a1" ^ name) in
     let est =
-      Pipeline.survival ~trials:(trials 200) ~rng ~eps
+      Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng ~eps
         ~probe:Pipeline.sc_probe_only net
     in
     Table.add_row t
@@ -794,8 +805,8 @@ let a1_ablations () =
   (* strip radius 1 on the full construction *)
   let rng4 = rng_for "a1-radius" in
   let est =
-    Pipeline.survival ~trials:(trials 200) ~rng:rng4 ~eps ~strip_radius:1
-      ~probe:Pipeline.sc_probe_only ft.Ft_network.net
+    Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng:rng4 ~eps
+      ~strip_radius:1 ~probe:Pipeline.sc_probe_only ft.Ft_network.net
   in
   Table.add_row t
     [
@@ -838,7 +849,7 @@ let e11_degradation () =
     (fun (name, net) ->
       let hazard = lambda /. float_of_int (Network.size net) in
       let mttd =
-        Ftcsn.Ft_session.mean_time_to_degradation ~rng ~hazard
+        Ftcsn.Ft_session.mean_time_to_degradation ~jobs:!jobs ~rng ~hazard
           ~trials:(max 3 (trials 20)) ~max_ticks:20_000 net
       in
       Table.add_row t

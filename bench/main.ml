@@ -4,16 +4,28 @@
      dune exec bench/main.exe                 # every experiment + timings
      dune exec bench/main.exe -- e7 f5        # selected experiments
      dune exec bench/main.exe -- --quick      # reduced trial counts
+     dune exec bench/main.exe -- --jobs 4     # Monte-Carlo worker domains
      dune exec bench/main.exe -- --no-timings # tables only *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_timings = List.mem "--no-timings" args in
-  let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  (* strip "--jobs N" out of the positional arguments *)
+  let jobs = ref 1 in
+  let rec positionals = function
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        positionals rest
+    | a :: rest ->
+        if String.length a > 1 && a.[0] = '-' then positionals rest
+        else a :: positionals rest
+    | [] -> []
   in
+  let selected = positionals args in
+  let jobs = !jobs in
   Experiments.quick := quick;
+  Experiments.jobs := jobs;
   let to_run =
     if selected = [] then Experiments.all
     else

@@ -109,7 +109,99 @@ let tests =
     zone_analysis;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Engine throughput: wall-clock measurements of the Ftcsn_sim.Trials   *)
+(* engine on representative Monte-Carlo sweeps, at several job counts.  *)
+(* Emitted both as a printed table and as machine-readable               *)
+(* BENCH_timings.json for tracking across commits.                      *)
+(* ------------------------------------------------------------------ *)
+
+type engine_sample = {
+  bench : string;
+  jobs : int;
+  trials : int;
+  seconds : float;
+  rate : float;  (** trials per second *)
+}
+
+let timed ~bench ~jobs ~trials f =
+  let t0 = Unix.gettimeofday () in
+  f ~jobs ~trials;
+  let seconds = Unix.gettimeofday () -. t0 in
+  { bench; jobs; trials; seconds; rate = float_of_int trials /. seconds }
+
+let engine_samples ~jobs_list () =
+  let h = Ftcsn_reliability.Hammock.make ~rows:8 ~width:8 in
+  let hammock_sweep ~jobs ~trials =
+    let rng = Rng.create ~seed:42 in
+    ignore
+      (Ftcsn_reliability.Hammock.open_failure_prob ~jobs ~trials ~rng ~eps:0.05
+         h)
+  in
+  let benes = Benes.network (Benes.make 16) in
+  let survival_sweep ~jobs ~trials =
+    let rng = Rng.create ~seed:43 in
+    ignore
+      (Ftcsn.Pipeline.survival ~jobs ~trials ~rng ~eps:0.03
+         ~probe:Ftcsn.Pipeline.sc_probe_only benes)
+  in
+  List.concat_map
+    (fun jobs ->
+      [
+        timed ~bench:"hammock-open-prob-8x8" ~jobs ~trials:60_000 hammock_sweep;
+        timed ~bench:"survival-benes-16" ~jobs ~trials:2_000 survival_sweep;
+      ])
+    jobs_list
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path samples =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"benchmarks\": [\n"
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"jobs\": %d, \"trials\": %d, \"seconds\": \
+         %.4f, \"trials_per_sec\": %.1f}%s\n"
+        (json_escape s.bench) s.jobs s.trials s.seconds s.rate
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_engine ?(json_path = "BENCH_timings.json") () =
+  print_endline "== engine throughput (Ftcsn_sim.Trials, wall clock) ==";
+  let samples = engine_samples ~jobs_list:[ 1; 2; 4 ] () in
+  List.iter
+    (fun s ->
+      Printf.printf "%-28s jobs=%d %8d trials  %6.2fs  %10.0f trials/s\n"
+        s.bench s.jobs s.trials s.seconds s.rate)
+    samples;
+  (* speedup of the hammock sweep vs jobs=1, the headline number *)
+  (match
+     ( List.find_opt (fun s -> s.bench = "hammock-open-prob-8x8" && s.jobs = 1) samples,
+       List.find_opt (fun s -> s.bench = "hammock-open-prob-8x8" && s.jobs = 4) samples )
+   with
+  | Some s1, Some s4 ->
+      Printf.printf "hammock sweep speedup at jobs=4: %.2fx (%d cores available)\n"
+        (s4.rate /. s1.rate)
+        (Domain.recommended_domain_count ())
+  | _ -> ());
+  write_json json_path samples;
+  Printf.printf "wrote %s\n\n" json_path
+
 let run () =
+  run_engine ();
   print_endline "== timings (Bechamel, monotonic clock) ==";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instances = [ Instance.monotonic_clock ] in

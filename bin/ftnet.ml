@@ -10,17 +10,52 @@
      survive  Monte-Carlo (eps, delta) survival estimation
      degrade  age the network under live traffic and report degradation
      critical rank switches by Birnbaum criticality
-     render   DOT or ASCII renderings (grids, stage census) *)
+     render   DOT or ASCII renderings (grids, stage census)
+
+   Every Monte-Carlo workload runs on the Ftcsn_sim.Trials engine, so
+   --jobs only changes wall-clock time: estimates, witnesses and ranks are
+   bit-identical at every job count. *)
 
 module Network = Ftcsn_networks.Network
 module Rng = Ftcsn_prng.Rng
 module Fault = Ftcsn_reliability.Fault
+module Monte_carlo = Ftcsn_reliability.Monte_carlo
+module Trials = Ftcsn_sim.Trials
 open Cmdliner
+
+(* ---------- seed derivation ---------- *)
+
+(* Every stream ftnet ever draws from derives from the user's --seed by a
+   fixed offset, documented here in one place.  Network construction uses
+   the seed itself (offset 0) in every subcommand, so `--family ft -n 8
+   --seed 1` denotes the same network everywhere; each subcommand's own
+   randomness (fault sampling, probe workloads, ...) lives at its own
+   offset so no two subcommands share a stream. *)
+module Seeds = struct
+  let network seed = Rng.create ~seed (* offset 0: network construction *)
+
+  let faults seed = Rng.create ~seed:(seed + 1)
+
+  let route seed = Rng.create ~seed:(seed + 2)
+
+  let check seed = Rng.create ~seed:(seed + 3)
+
+  let survive seed = Rng.create ~seed:(seed + 4)
+
+  let degrade seed = Rng.create ~seed:(seed + 5)
+
+  let critical seed = Rng.create ~seed:(seed + 6)
+
+  let build seed = Rng.create ~seed:(seed + 9) (* diameter sampling *)
+end
 
 (* ---------- shared argument parsing ---------- *)
 
 let seed_arg =
-  let doc = "PRNG seed (all randomness is derived deterministically)." in
+  let doc =
+    "PRNG seed (all randomness is derived deterministically from SEED at \
+     fixed per-subcommand offsets)."
+  in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let eps_arg =
@@ -30,6 +65,32 @@ let eps_arg =
 let n_arg =
   let doc = "Number of terminals (rounded to the family's natural grid)." in
   Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some _ -> Error (`Msg "must be >= 1")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte-Carlo trials.  Results are bit-identical at \
+     every J; only wall-clock time changes."
+  in
+  Arg.(value & opt pos_int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
+let target_ci_arg =
+  let doc =
+    "Adaptive stopping: keep running trials until the Wilson 95% interval \
+     half-width drops to W or below (the --trials cap still applies)."
+  in
+  Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"W" ~doc)
+
+let trials_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"T" ~doc)
 
 let family_arg =
   let families =
@@ -51,7 +112,7 @@ let log2_ceil n =
   go 0 1
 
 let build_network family ~n ~seed =
-  let rng = Rng.create ~seed in
+  let rng = Seeds.network seed in
   let pow2 = 1 lsl log2_ceil n in
   match family with
   | `Ft ->
@@ -90,7 +151,7 @@ let build_cmd =
       p.Ftcsn_graph.Metrics.min_in p.Ftcsn_graph.Metrics.max_in
       p.Ftcsn_graph.Metrics.min_out p.Ftcsn_graph.Metrics.max_out
       p.Ftcsn_graph.Metrics.mean_out;
-    let rng = Rng.create ~seed:(seed + 9) in
+    let rng = Seeds.build seed in
     Format.printf "directed diameter (sampled lower bound): %d@."
       (Ftcsn_graph.Metrics.diameter_lower_bound g ~samples:8 ~rng)
   in
@@ -100,9 +161,9 @@ let build_cmd =
 (* ---------- faults ---------- *)
 
 let faults_cmd =
-  let run family n seed eps radius =
+  let run family n seed eps radius trials jobs target_ci =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 1) in
+    let rng = Seeds.faults seed in
     let m = Network.size net in
     let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
     let opens = Fault.count pattern Fault.Open_failure in
@@ -122,63 +183,121 @@ let faults_cmd =
     Format.printf "isolated inputs: %s@."
       (match Ftcsn.Fault_strip.isolated_inputs net strip with
       | [] -> "none"
-      | is -> String.concat ", " (List.map string_of_int is))
+      | is -> String.concat ", " (List.map string_of_int is));
+    if trials > 1 then begin
+      (* survey mode: estimate how often a fresh pattern leaves a clean
+         survivor (no shorted terminals, no isolated inputs) *)
+      let est =
+        Monte_carlo.estimate_event ~jobs ?target_ci ~trials ~rng
+          ~graph:net.Network.graph ~eps_open:eps ~eps_close:eps (fun pattern ->
+            let strip = Ftcsn.Fault_strip.strip ~radius net pattern in
+            Ftcsn.Fault_strip.healthy strip
+            && Ftcsn.Fault_strip.isolated_inputs net strip = [])
+      in
+      Format.printf "P[survivor clean] = %a  (%d trials, jobs=%d)@."
+        Monte_carlo.pp est est.Monte_carlo.trials jobs
+    end
   in
   let radius =
     Arg.(value & opt int 0 & info [ "radius" ] ~docv:"R"
            ~doc:"Strip radius: 0 = faulty vertices, 1 = plus neighbours.")
   in
+  let trials =
+    trials_arg ~default:1
+      ~doc:
+        "With T > 1, additionally survey T sampled patterns and estimate \
+         P[survivor has no shorted terminals or isolated inputs]."
+  in
   let doc = "Sample a fault pattern and report the stripped survivor." in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ radius)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ radius $ trials
+      $ jobs_arg $ target_ci_arg)
 
 (* ---------- route ---------- *)
 
 let route_cmd =
-  let run family n seed eps verbose =
+  let run family n seed eps verbose trials jobs target_ci =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 2) in
+    let rng = Seeds.route seed in
     let n' = min (Network.n_inputs net) (Network.n_outputs net) in
-    let pi = Rng.permutation rng n' in
-    let allowed, routing_net =
-      if eps > 0.0 then begin
-        let pattern =
-          Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Network.size net)
-        in
-        let strip = Ftcsn.Fault_strip.strip net pattern in
-        ( strip.Ftcsn.Fault_strip.allowed,
-          Ftcsn.Fault_strip.surviving_network net strip )
-      end
-      else ((fun _ -> true), net)
-    in
-    let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
-    let success = ref 0 in
-    let paths = Ftcsn_routing.Greedy.route_permutation router pi ~success in
-    Format.printf "requests: %d, routed: %d, blocked: %d@." n' !success
-      (n' - !success);
-    if verbose then
-      Array.iteri
-        (fun i path ->
-          match path with
-          | Some p ->
-              Format.printf "  %d -> %d: %s@." i pi.(i)
-                (String.concat " " (List.map string_of_int p))
-          | None -> Format.printf "  %d -> %d: BLOCKED@." i pi.(i))
-        paths
+    if trials <= 1 then begin
+      let pi = Rng.permutation rng n' in
+      let allowed, routing_net =
+        if eps > 0.0 then begin
+          let pattern =
+            Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Network.size net)
+          in
+          let strip = Ftcsn.Fault_strip.strip net pattern in
+          ( strip.Ftcsn.Fault_strip.allowed,
+            Ftcsn.Fault_strip.surviving_network net strip )
+        end
+        else ((fun _ -> true), net)
+      in
+      let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
+      let success = ref 0 in
+      let paths = Ftcsn_routing.Greedy.route_permutation router pi ~success in
+      Format.printf "requests: %d, routed: %d, blocked: %d@." n' !success
+        (n' - !success);
+      if verbose then
+        Array.iteri
+          (fun i path ->
+            match path with
+            | Some p ->
+                Format.printf "  %d -> %d: %s@." i pi.(i)
+                  (String.concat " " (List.map string_of_int p))
+            | None -> Format.printf "  %d -> %d: BLOCKED@." i pi.(i))
+          paths
+    end
+    else begin
+      (* survey mode: each trial draws its own fault pattern and its own
+         permutation; success = every request routed greedily *)
+      let est =
+        Monte_carlo.estimate ~jobs ?target_ci ~trials ~rng (fun sub ->
+            let allowed, routing_net =
+              if eps > 0.0 then begin
+                let pattern =
+                  Fault.sample sub ~eps_open:eps ~eps_close:eps
+                    ~m:(Network.size net)
+                in
+                let strip = Ftcsn.Fault_strip.strip net pattern in
+                ( strip.Ftcsn.Fault_strip.allowed,
+                  Ftcsn.Fault_strip.surviving_network net strip )
+              end
+              else ((fun _ -> true), net)
+            in
+            let pi = Rng.permutation sub n' in
+            let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
+            let success = ref 0 in
+            ignore (Ftcsn_routing.Greedy.route_permutation router pi ~success);
+            !success = n')
+      in
+      Format.printf
+        "P[random permutation fully routes, eps=%g] = %a  (%d trials, jobs=%d)@."
+        eps Monte_carlo.pp est est.Monte_carlo.trials jobs
+    end
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every path.")
   in
+  let trials =
+    trials_arg ~default:1
+      ~doc:
+        "With T > 1, estimate P[a random permutation routes fully] over T \
+         independent fault samples instead of printing one route."
+  in
   let doc = "Greedily route a random permutation, optionally under faults." in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ verbose)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ verbose $ trials
+      $ jobs_arg $ target_ci_arg)
 
 (* ---------- check ---------- *)
 
 let check_cmd =
-  let run family n seed =
+  let run family n seed trials jobs target_ci =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 3) in
+    let rng = Seeds.check seed in
     Format.printf "%a@." Network.pp net;
     (match
        Ftcsn_routing.Properties.superconcentrator_exhaustive ~max_work:100_000 net
@@ -189,9 +308,11 @@ let check_cmd =
           v.Ftcsn_routing.Properties.r v.Ftcsn_routing.Properties.achieved
     | `Too_large -> (
         match
-          Ftcsn_routing.Properties.superconcentrator_sampled ~trials:100 ~rng net
+          Ftcsn_routing.Properties.superconcentrator_sampled ~jobs ~trials ~rng
+            net
         with
-        | None -> Format.printf "superconcentrator: probably (100 samples)@."
+        | None ->
+            Format.printf "superconcentrator: probably (%d samples)@." trials
         | Some v ->
             Format.printf "superconcentrator: NO (sampled r=%d)@."
               v.Ftcsn_routing.Properties.r));
@@ -204,10 +325,13 @@ let check_cmd =
       | `Budget_exceeded -> Format.printf "rearrangeable: budget exceeded@."
     end
     else begin
+      let perm_trials = max 5 (trials / 5) in
       match
-        Ftcsn_routing.Properties.rearrangeable_sampled ~trials:20 ~rng net
+        Ftcsn_routing.Properties.rearrangeable_sampled ~jobs ~trials:perm_trials
+          ~rng net
       with
-      | None -> Format.printf "rearrangeable: probably (20 samples)@."
+      | None ->
+          Format.printf "rearrangeable: probably (%d samples)@." perm_trials
       | Some _ -> Format.printf "rearrangeable: NO (sampled witness)@."
     end;
     if Network.n_inputs net <= 4 && Network.size net <= 64 then begin
@@ -219,56 +343,93 @@ let check_cmd =
       | `Budget_exceeded -> Format.printf "strictly nonblocking: budget exceeded@."
     end
     else begin
-      let stats =
-        Ftcsn_routing.Properties.nonblocking_stress ~steps:500 ~rng net
+      (* estimate P[a 200-step stress episode blocks nothing] so that
+         --target-ci / --jobs have something to sharpen *)
+      let episodes = max 5 (trials / 5) in
+      let steps = 200 in
+      let est =
+        Monte_carlo.estimate ~jobs ?target_ci ~trials:episodes ~rng (fun sub ->
+            let stats =
+              Ftcsn_routing.Properties.nonblocking_stress ~steps ~rng:sub net
+            in
+            stats.Ftcsn_routing.Session.blocked = 0)
       in
-      Format.printf "nonblocking stress: %d offered, %d blocked@."
-        stats.Ftcsn_routing.Session.offered stats.Ftcsn_routing.Session.blocked
+      Format.printf
+        "nonblocking stress: P[0 blocked in %d-step episode] = %a  (%d \
+         episodes, jobs=%d)@."
+        steps Monte_carlo.pp est est.Monte_carlo.trials jobs
     end
   in
+  let trials =
+    trials_arg ~default:100
+      ~doc:
+        "Sampled-decider budget: T superconcentrator probes, T/5 sampled \
+         permutations, T/5 nonblocking stress episodes."
+  in
   let doc = "Decide/estimate the three §2 properties for a network." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ family_arg $ n_arg $ seed_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ trials $ jobs_arg
+      $ target_ci_arg)
 
 (* ---------- survive ---------- *)
 
 let survive_cmd =
-  let run family n seed eps trials =
+  let run family n seed eps trials jobs target_ci =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 4) in
+    let rng = Seeds.survive seed in
+    let last_rate = ref 0.0 in
     let est =
-      Ftcsn.Pipeline.survival ~trials ~rng ~eps
-        ~probe:Ftcsn.Pipeline.sc_probe_only net
+      Ftcsn.Pipeline.survival ~jobs ?target_ci
+        ~progress:(fun p -> last_rate := p.Trials.rate)
+        ~trials ~rng ~eps ~probe:Ftcsn.Pipeline.sc_probe_only net
     in
     Format.printf "%a@." Network.pp net;
     Format.printf
       "P[survives eps=%g, superconcentrator probes] = %.3f  (95%% CI [%.3f, %.3f], %d trials)@."
       eps est.Ftcsn_reliability.Monte_carlo.mean
       est.Ftcsn_reliability.Monte_carlo.ci_low
-      est.Ftcsn_reliability.Monte_carlo.ci_high trials
+      est.Ftcsn_reliability.Monte_carlo.ci_high
+      est.Ftcsn_reliability.Monte_carlo.trials;
+    Format.printf "throughput: %.0f trials/s (jobs=%d)@." !last_rate jobs
   in
   let trials =
-    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+    trials_arg ~default:100 ~doc:"Monte-Carlo trial cap."
   in
   let doc = "Monte-Carlo (eps, delta) survival estimation." in
   Cmd.v (Cmd.info "survive" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials $ jobs_arg
+      $ target_ci_arg)
 
 (* ---------- degrade ---------- *)
 
 let degrade_cmd =
-  let run family n seed hazard ticks =
+  let run family n seed hazard ticks trials jobs =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 5) in
-    let stats = Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net in
-    Format.printf "%a@." Network.pp net;
-    Format.printf
-      "ticks=%d placed=%d blocked=%d dropped=%d rerouted=%d failures=%d@."
-      stats.Ftcsn.Ft_session.ticks stats.Ftcsn.Ft_session.placed
-      stats.Ftcsn.Ft_session.blocked stats.Ftcsn.Ft_session.dropped
-      stats.Ftcsn.Ft_session.rerouted stats.Ftcsn.Ft_session.failed_switches;
-    match stats.Ftcsn.Ft_session.catastrophe_at with
-    | Some t -> Format.printf "catastrophe (terminals fused) at tick %d@." t
-    | None -> Format.printf "no catastrophe within the horizon@."
+    let rng = Seeds.degrade seed in
+    if trials <= 1 then begin
+      let stats = Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net in
+      Format.printf "%a@." Network.pp net;
+      Format.printf
+        "ticks=%d placed=%d blocked=%d dropped=%d rerouted=%d failures=%d@."
+        stats.Ftcsn.Ft_session.ticks stats.Ftcsn.Ft_session.placed
+        stats.Ftcsn.Ft_session.blocked stats.Ftcsn.Ft_session.dropped
+        stats.Ftcsn.Ft_session.rerouted stats.Ftcsn.Ft_session.failed_switches;
+      match stats.Ftcsn.Ft_session.catastrophe_at with
+      | Some t -> Format.printf "catastrophe (terminals fused) at tick %d@." t
+      | None -> Format.printf "no catastrophe within the horizon@."
+    end
+    else begin
+      let mttd =
+        Ftcsn.Ft_session.mean_time_to_degradation ~jobs ~rng ~hazard ~trials
+          ~max_ticks:ticks net
+      in
+      Format.printf "%a@." Network.pp net;
+      Format.printf
+        "mean time to degradation: %.0f ticks (%d trials, horizon %d, jobs=%d)@."
+        mttd trials ticks jobs
+    end
   in
   let hazard =
     Arg.(value & opt float 1e-5
@@ -277,16 +438,24 @@ let degrade_cmd =
   let ticks =
     Arg.(value & opt int 2000 & info [ "ticks" ] ~docv:"T" ~doc:"Simulation horizon.")
   in
+  let trials =
+    trials_arg ~default:1
+      ~doc:
+        "With T > 1, report mean time to degradation under saturating \
+         traffic over T independent sessions instead of one traced run."
+  in
   let doc = "Age the network under live traffic and report degradation." in
   Cmd.v (Cmd.info "degrade" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ hazard $ ticks)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ hazard $ ticks $ trials
+      $ jobs_arg)
 
 (* ---------- critical ---------- *)
 
 let critical_cmd =
-  let run family n seed eps sample trials =
+  let run family n seed eps sample trials jobs =
     let net = build_network family ~n ~seed in
-    let rng = Rng.create ~seed:(seed + 6) in
+    let rng = Seeds.critical seed in
     let g = net.Network.graph in
     (* event: the stripped survivor fails the class-fair probes *)
     let event pattern =
@@ -295,7 +464,7 @@ let critical_cmd =
       || Ftcsn.Fault_strip.isolated_inputs net strip <> []
     in
     let ranked =
-      Ftcsn_reliability.Importance.rank ~trials ~rng ~graph:g ~eps ~event
+      Ftcsn_reliability.Importance.rank ~jobs ~trials ~rng ~graph:g ~eps ~event
         ~sample ()
     in
     Format.printf "%a@." Network.pp net;
@@ -317,12 +486,12 @@ let critical_cmd =
     Arg.(value & opt int 24 & info [ "sample" ] ~docv:"S"
            ~doc:"Number of switches to sample for ranking.")
   in
-  let trials =
-    Arg.(value & opt int 300 & info [ "trials" ] ~docv:"T" ~doc:"Trials per switch.")
-  in
+  let trials = trials_arg ~default:300 ~doc:"Trials per switch." in
   let doc = "Rank switches by Birnbaum criticality for the survival event." in
   Cmd.v (Cmd.info "critical" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ sample $ trials)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ sample $ trials
+      $ jobs_arg)
 
 (* ---------- render ---------- *)
 

@@ -235,34 +235,42 @@ let run ~rng ~hazard ~arrival ~ticks net =
     catastrophe_at = !catastrophe;
   }
 
-let mean_time_to_degradation ~rng ~hazard ~trials ~max_ticks net =
+let time_to_degradation_trial ~rng ~hazard ~max_ticks net =
   let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
-  let horizon = ref 0.0 in
-  for _ = 1 to trials do
-    let sim = make_sim ~rng:(Rng.split rng) net in
-    (* saturate: keep every terminal pair connected identity-style *)
-    let saturated = ref true in
-    for i = 0 to min n_in n_out - 1 do
-      if not (place_call sim ~input:i ~output:i) then saturated := false
-    done;
-    assert !saturated;
-    let t = ref 0 in
-    let degraded = ref false in
-    while (not !degraded) && !t < max_ticks do
-      incr t;
-      let fresh = age sim ~hazard in
-      if terminals_shorted sim then degraded := true
-      else begin
-        let before = sim.dropped in
-        handle_failures sim fresh;
-        let lost = sim.dropped - before in
-        let recovered = sim.rerouted in
-        ignore recovered;
-        (* degradation = some severed call could not be rerouted *)
-        if lost > 0 && List.length sim.calls < min n_in n_out then
-          degraded := true
-      end
-    done;
-    horizon := !horizon +. float_of_int !t
+  let sim = make_sim ~rng net in
+  (* saturate: keep every terminal pair connected identity-style *)
+  let saturated = ref true in
+  for i = 0 to min n_in n_out - 1 do
+    if not (place_call sim ~input:i ~output:i) then saturated := false
   done;
+  assert !saturated;
+  let t = ref 0 in
+  let degraded = ref false in
+  while (not !degraded) && !t < max_ticks do
+    incr t;
+    let fresh = age sim ~hazard in
+    if terminals_shorted sim then degraded := true
+    else begin
+      let before = sim.dropped in
+      handle_failures sim fresh;
+      let lost = sim.dropped - before in
+      (* degradation = some severed call could not be rerouted *)
+      if lost > 0 && List.length sim.calls < min n_in n_out then
+        degraded := true
+    end
+  done;
+  !t
+
+let mean_time_to_degradation ?jobs ~rng ~hazard ~trials ~max_ticks net =
+  let horizon =
+    Ftcsn_sim.Trials.map_reduce ?jobs ~trials ~rng
+      ~init:(fun () -> ())
+      ~create_acc:(fun () -> ref 0.0)
+      ~trial:(fun () acc sub ->
+        acc :=
+          !acc
+          +. float_of_int (time_to_degradation_trial ~rng:sub ~hazard ~max_ticks net))
+      ~combine:(fun global chunk -> global := !global +. !chunk)
+      ()
+  in
   !horizon /. float_of_int trials

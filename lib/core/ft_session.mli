@@ -35,6 +35,7 @@ val run :
     otherwise a random live call hangs up. *)
 
 val mean_time_to_degradation :
+  ?jobs:int ->
   rng:Ftcsn_prng.Rng.t ->
   hazard:float ->
   trials:int ->
@@ -43,4 +44,6 @@ val mean_time_to_degradation :
   float
 (** Average tick of the first service failure (block, unrecovered drop,
     or catastrophe) under saturating traffic; [max_ticks] when service
-    never failed within the horizon. *)
+    never failed within the horizon.  Trials run on the
+    {!Ftcsn_sim.Trials} engine (one substream per trial), so the mean is
+    identical at every [jobs]. *)

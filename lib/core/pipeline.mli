@@ -61,6 +61,9 @@ val trial :
 (** One fault sample at ε₁ = ε₂ = [eps], stripped and probed. *)
 
 val survival :
+  ?jobs:int ->
+  ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   eps:float ->
@@ -68,6 +71,9 @@ val survival :
   ?probe:probe ->
   Ftcsn_networks.Network.t ->
   Ftcsn_reliability.Monte_carlo.estimate
-(** Monte-Carlo estimate of P[trial = Survived]. *)
+(** Monte-Carlo estimate of P[trial = Survived], on the
+    {!Ftcsn_sim.Trials} engine: one substream per trial, so the estimate
+    is identical at every [jobs]; [target_ci] stops early once the Wilson
+    95% half-width is small enough. *)
 
 val verdict_label : verdict -> string

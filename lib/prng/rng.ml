@@ -6,6 +6,10 @@ let of_int64 = Splitmix64.create
 
 let split = Splitmix64.split
 
+let substream = Splitmix64.substream
+
+let advance = Splitmix64.advance
+
 let copy = Splitmix64.copy
 
 let int64 = Splitmix64.next

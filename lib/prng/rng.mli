@@ -16,6 +16,19 @@ val of_int64 : int64 -> t
 val split : t -> t
 (** Independent substream; the parent advances. *)
 
+val substream : t -> int -> t
+(** [substream t i] is the [i]-th (0-indexed) independent substream of
+    [t], derived {e without} advancing the parent.  [substream t i] is
+    bit-identical to the [(i+1)]-th consecutive {!split} of a copy of
+    [t]: an indexed family of substreams reproduces a sequential split
+    loop exactly, so trial [i] of a simulation draws the same stream
+    whether trials run sequentially or fan out across domains. *)
+
+val advance : t -> int -> unit
+(** [advance t k] jumps the stream forward by [k] draws (equivalently
+    [k] splits) in O(1) — used to leave a parent stream in the same
+    state a sequential split-per-trial loop would have left it. *)
+
 val copy : t -> t
 
 val int64 : t -> int64

@@ -16,4 +16,10 @@ let next t =
 
 let split t = { state = next t }
 
+let substream t i =
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) }
+
+let advance t k =
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int k) golden_gamma)
+
 let copy t = { state = t.state }

@@ -16,4 +16,16 @@ val split : t -> t
 (** A statistically independent generator derived from (and advancing)
     the parent. *)
 
+val substream : t -> int -> t
+(** [substream t i] is the [i]-th (0-indexed) child stream of [t],
+    derived without advancing the parent.  Children are mutually
+    independent, and [substream t i] equals the result of the
+    [(i+1)]-th consecutive {!split} of a copy of [t] — so an indexed
+    family of substreams reproduces a sequential split loop exactly,
+    which is what makes parallel trial execution bit-deterministic. *)
+
+val advance : t -> int -> unit
+(** [advance t k] jumps [t] forward by [k] outputs (equivalently, [k]
+    splits) in O(1), as if [next] had been called [k] times. *)
+
 val copy : t -> t

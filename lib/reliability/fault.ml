@@ -18,14 +18,22 @@ let pp_state ppf = function
   | Open_failure -> Format.pp_print_string ppf "open"
   | Closed_failure -> Format.pp_print_string ppf "closed"
 
-let sample rng ~eps_open ~eps_close ~m =
+let sample_into rng ~eps_open ~eps_close pattern =
   if eps_open < 0.0 || eps_close < 0.0 || eps_open +. eps_close > 1.0 then
     invalid_arg "Fault.sample: bad probabilities";
-  Array.init m (fun _ ->
-      let u = Rng.float rng in
-      if u < eps_open then Open_failure
-      else if u < eps_open +. eps_close then Closed_failure
-      else Normal)
+  let threshold = eps_open +. eps_close in
+  for e = 0 to Array.length pattern - 1 do
+    let u = Rng.float rng in
+    pattern.(e) <-
+      (if u < eps_open then Open_failure
+       else if u < threshold then Closed_failure
+       else Normal)
+  done
+
+let sample rng ~eps_open ~eps_close ~m =
+  let pattern = Array.make m Normal in
+  sample_into rng ~eps_open ~eps_close pattern;
+  pattern
 
 let all_normal m = Array.make m Normal
 

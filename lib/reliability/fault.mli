@@ -21,6 +21,14 @@ val pp_state : Format.formatter -> state -> unit
 val sample : Ftcsn_prng.Rng.t -> eps_open:float -> eps_close:float -> m:int -> pattern
 (** Independent per-edge sample.  Requires [eps_open + eps_close <= 1]. *)
 
+val sample_into :
+  Ftcsn_prng.Rng.t -> eps_open:float -> eps_close:float -> pattern -> unit
+(** Refill a preallocated pattern in place, drawing one uniform per edge
+    in ascending edge order — the same stream consumption as {!sample},
+    so the two agree draw-for-draw on equal streams.  This is the
+    zero-allocation inner loop used by the {!Ftcsn_sim.Trials} scratch
+    buffers. *)
+
 val all_normal : int -> pattern
 
 val count : pattern -> state -> int

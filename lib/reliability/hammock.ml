@@ -30,14 +30,14 @@ let make ~rows ~width =
   done;
   { graph = Digraph.Builder.freeze b; input; output; rows; width }
 
-let open_failure_prob ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ~trials ~rng ~graph:t.graph ~eps_open:eps
-    ~eps_close:eps (fun pattern ->
+let open_failure_prob ?jobs ?target_ci ~trials ~rng ~eps t =
+  Monte_carlo.estimate_event ?jobs ?target_ci ~trials ~rng ~graph:t.graph
+    ~eps_open:eps ~eps_close:eps (fun pattern ->
       not (Survivor.connected_ignoring_opens t.graph pattern ~a:t.input ~b:t.output))
 
-let short_failure_prob ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ~trials ~rng ~graph:t.graph ~eps_open:eps
-    ~eps_close:eps (fun pattern ->
+let short_failure_prob ?jobs ?target_ci ~trials ~rng ~eps t =
+  Monte_carlo.estimate_event ?jobs ?target_ci ~trials ~rng ~graph:t.graph
+    ~eps_open:eps ~eps_close:eps (fun pattern ->
       Survivor.shorted_by_closure t.graph pattern ~a:t.input ~b:t.output)
 
 let size t = Digraph.edge_count t.graph

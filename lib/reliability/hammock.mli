@@ -21,12 +21,24 @@ val make : rows:int -> width:int -> t
 (** @raise Invalid_argument unless [rows >= 1 && width >= 1]. *)
 
 val open_failure_prob :
-  trials:int -> rng:Ftcsn_prng.Rng.t -> eps:float -> t -> Monte_carlo.estimate
+  ?jobs:int ->
+  ?target_ci:float ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float ->
+  t ->
+  Monte_carlo.estimate
 (** Monte-Carlo estimate of P[no input→output path survives] at
-    ε₁ = ε₂ = ε. *)
+    ε₁ = ε₂ = ε.  [jobs]/[target_ci] as in {!Monte_carlo.estimate}. *)
 
 val short_failure_prob :
-  trials:int -> rng:Ftcsn_prng.Rng.t -> eps:float -> t -> Monte_carlo.estimate
+  ?jobs:int ->
+  ?target_ci:float ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float ->
+  t ->
+  Monte_carlo.estimate
 (** Monte-Carlo estimate of P[input and output contract]. *)
 
 val size : t -> int

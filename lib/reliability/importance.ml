@@ -1,5 +1,6 @@
 module Digraph = Ftcsn_graph.Digraph
 module Rng = Ftcsn_prng.Rng
+module Trials = Ftcsn_sim.Trials
 
 type estimate = {
   switch : int;
@@ -7,43 +8,67 @@ type estimate = {
   close_importance : float;
 }
 
-let importance ~trials ~rng ~graph ~eps ~event ~switches =
+type counts = {
+  opens : int array;
+  closes : int array;
+  normals : int array;
+}
+
+let importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches () =
   let m = Digraph.edge_count graph in
   Array.iter
     (fun e ->
       if e < 0 || e >= m then invalid_arg "Importance.importance: switch id")
     switches;
-  let counts_open = Array.make (Array.length switches) 0 in
-  let counts_close = Array.make (Array.length switches) 0 in
-  let counts_normal = Array.make (Array.length switches) 0 in
-  for _ = 1 to trials do
-    let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
-    Array.iteri
-      (fun idx e ->
-        let saved = pattern.(e) in
-        pattern.(e) <- Fault.Normal;
-        if event pattern then counts_normal.(idx) <- counts_normal.(idx) + 1;
-        pattern.(e) <- Fault.Open_failure;
-        if event pattern then counts_open.(idx) <- counts_open.(idx) + 1;
-        pattern.(e) <- Fault.Closed_failure;
-        if event pattern then counts_close.(idx) <- counts_close.(idx) + 1;
-        pattern.(e) <- saved)
-      switches
-  done;
+  let k = Array.length switches in
+  let counts =
+    Trials.map_reduce ?jobs ~trials ~rng
+      ~init:(fun () -> Fault.all_normal m)
+      ~create_acc:(fun () ->
+        {
+          opens = Array.make k 0;
+          closes = Array.make k 0;
+          normals = Array.make k 0;
+        })
+      ~trial:(fun pattern acc sub ->
+        Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern;
+        Array.iteri
+          (fun idx e ->
+            (* paired sampling: common random states everywhere else, the
+               switch under study forced three ways *)
+            let saved = pattern.(e) in
+            pattern.(e) <- Fault.Normal;
+            if event pattern then acc.normals.(idx) <- acc.normals.(idx) + 1;
+            pattern.(e) <- Fault.Open_failure;
+            if event pattern then acc.opens.(idx) <- acc.opens.(idx) + 1;
+            pattern.(e) <- Fault.Closed_failure;
+            if event pattern then acc.closes.(idx) <- acc.closes.(idx) + 1;
+            pattern.(e) <- saved)
+          switches)
+      ~combine:(fun global chunk ->
+        for idx = 0 to k - 1 do
+          global.opens.(idx) <- global.opens.(idx) + chunk.opens.(idx);
+          global.closes.(idx) <- global.closes.(idx) + chunk.closes.(idx);
+          global.normals.(idx) <- global.normals.(idx) + chunk.normals.(idx)
+        done)
+      ()
+  in
   let f c = float_of_int c /. float_of_int trials in
   Array.mapi
     (fun idx e ->
       {
         switch = e;
-        open_importance = f counts_open.(idx) -. f counts_normal.(idx);
-        close_importance = f counts_close.(idx) -. f counts_normal.(idx);
+        open_importance = f counts.opens.(idx) -. f counts.normals.(idx);
+        close_importance = f counts.closes.(idx) -. f counts.normals.(idx);
       })
     switches
 
-let rank ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
+let rank ?jobs ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
   let m = Digraph.edge_count graph in
   let switches = Rng.sample_without_replacement rng ~n:m ~k:(min sample m) in
-  let estimates = importance ~trials ~rng ~graph ~eps ~event ~switches in
+  let estimates =
+    importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches ()
+  in
   Array.sort
     (fun a b ->
       compare

@@ -20,17 +20,22 @@ type estimate = {
 }
 
 val importance :
+  ?jobs:int ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->
   eps:float ->
   event:(Fault.pattern -> bool) ->
   switches:int array ->
+  unit ->
   estimate array
 (** Paired Monte-Carlo estimates for the listed switches; [event] is the
-    failure predicate, evaluated 2·|switches|+1 times per trial. *)
+    failure predicate, evaluated 3·|switches| times per trial.  Runs on
+    the {!Ftcsn_sim.Trials} engine (one substream and one reused pattern
+    buffer per trial), so results are identical at every [jobs]. *)
 
 val rank :
+  ?jobs:int ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->

@@ -1,8 +1,7 @@
-module Rng = Ftcsn_prng.Rng
-module Prob = Ftcsn_util.Prob
 module Digraph = Ftcsn_graph.Digraph
+module Trials = Ftcsn_sim.Trials
 
-type estimate = {
+type estimate = Trials.estimate = {
   successes : int;
   trials : int;
   mean : float;
@@ -10,26 +9,18 @@ type estimate = {
   ci_high : float;
 }
 
-let of_counts ~successes ~trials =
-  let mean =
-    if trials = 0 then 0.0 else float_of_int successes /. float_of_int trials
-  in
-  let ci_low, ci_high = Prob.wilson_interval ~successes ~trials ~z:1.96 in
-  { successes; trials; mean; ci_low; ci_high }
+let of_counts = Trials.of_counts
 
-let estimate ~trials ~rng f =
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    let sub = Rng.split rng in
-    if f sub then incr successes
-  done;
-  of_counts ~successes:!successes ~trials
+let estimate ?jobs ?target_ci ?progress ~trials ~rng f =
+  Trials.run ?jobs ?target_ci ?progress ~trials ~rng f
 
-let estimate_event ~trials ~rng ~graph ~eps_open ~eps_close f =
+let estimate_event ?jobs ?target_ci ?progress ~trials ~rng ~graph ~eps_open
+    ~eps_close f =
   let m = Digraph.edge_count graph in
-  estimate ~trials ~rng (fun sub ->
-      f (Fault.sample sub ~eps_open ~eps_close ~m))
+  Trials.run_scratch ?jobs ?target_ci ?progress ~trials ~rng
+    ~init:(fun () -> Fault.all_normal m)
+    (fun pattern sub ->
+      Fault.sample_into sub ~eps_open ~eps_close pattern;
+      f pattern)
 
-let pp ppf e =
-  Format.fprintf ppf "%.4f [%.4f, %.4f] (%d/%d)" e.mean e.ci_low e.ci_high
-    e.successes e.trials
+let pp = Trials.pp

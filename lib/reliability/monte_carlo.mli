@@ -3,9 +3,17 @@
 
     The (ε, δ) properties of §3 are expectations over fault patterns; above
     ~13 edges exact enumeration (see {!Exact}) is infeasible, so experiments
-    estimate them from seeded samples and report Wilson 95% intervals. *)
+    estimate them from seeded samples and report Wilson 95% intervals.
 
-type estimate = {
+    These are thin façades over the {!Ftcsn_sim.Trials} engine: trial [i]
+    runs on the [i]-th substream of [rng], so estimates are bit-identical
+    at every [jobs] and a [jobs:1] run reproduces the historical
+    sequential split-per-trial loop exactly.  [target_ci] enables adaptive
+    stopping (run until the Wilson 95% half-width drops below it, capped
+    at [trials]); [progress] reports cumulative counts and throughput
+    after each chunk. *)
+
+type estimate = Ftcsn_sim.Trials.estimate = {
   successes : int;
   trials : int;
   mean : float;
@@ -13,11 +21,23 @@ type estimate = {
   ci_high : float;
 }
 
-val estimate : trials:int -> rng:Ftcsn_prng.Rng.t -> (Ftcsn_prng.Rng.t -> bool) -> estimate
-(** Run the Bernoulli experiment [trials] times on independent substreams
-    split off [rng]; the estimate is of P[true]. *)
+val of_counts : successes:int -> trials:int -> estimate
+
+val estimate :
+  ?jobs:int ->
+  ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  (Ftcsn_prng.Rng.t -> bool) ->
+  estimate
+(** Run the Bernoulli experiment up to [trials] times on independent
+    substreams of [rng]; the estimate is of P[true]. *)
 
 val estimate_event :
+  ?jobs:int ->
+  ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->
@@ -25,7 +45,9 @@ val estimate_event :
   eps_close:float ->
   (Fault.pattern -> bool) ->
   estimate
-(** Specialisation: sample a fault pattern on [graph] per trial and test
-    the event. *)
+(** Specialisation: refill a per-worker preallocated fault pattern on
+    [graph] each trial ({!Fault.sample_into} — no per-trial allocation)
+    and test the event.  The pattern is scratch: the callback must not
+    retain it across trials. *)
 
 val pp : Format.formatter -> estimate -> unit

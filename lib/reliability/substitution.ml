@@ -42,6 +42,28 @@ let size_factor g ~gadget =
     let substituted = substitute g ~gadget in
     float_of_int (Digraph.edge_count substituted.graph) /. float_of_int m
 
+let logical_rates ?jobs ~trials ~rng ~eps_open ~eps_close t =
+  let gg = t.gadget.Sp_network.graph in
+  let gm = Digraph.edge_count gg in
+  let gin = t.gadget.Sp_network.input and gout = t.gadget.Sp_network.output in
+  let counts =
+    Ftcsn_sim.Trials.map_reduce ?jobs ~trials ~rng
+      ~init:(fun () -> Fault.all_normal gm)
+      ~create_acc:(fun () -> [| 0; 0 |])
+      ~trial:(fun slice acc sub ->
+        Fault.sample_into sub ~eps_open ~eps_close slice;
+        if Survivor.shorted_by_closure gg slice ~a:gin ~b:gout then
+          acc.(1) <- acc.(1) + 1
+        else if not (Survivor.connected_ignoring_opens gg slice ~a:gin ~b:gout)
+        then acc.(0) <- acc.(0) + 1)
+      ~combine:(fun global chunk ->
+        global.(0) <- global.(0) + chunk.(0);
+        global.(1) <- global.(1) + chunk.(1))
+      ()
+  in
+  ( Ftcsn_sim.Trials.of_counts ~successes:counts.(0) ~trials,
+    Ftcsn_sim.Trials.of_counts ~successes:counts.(1) ~trials )
+
 let logical_pattern t pattern =
   let gg = t.gadget.Sp_network.graph in
   let gm = Digraph.edge_count gg in

@@ -24,6 +24,23 @@ val substitute : Ftcsn_graph.Digraph.t -> gadget:Sp_network.built -> t
 val size_factor : Ftcsn_graph.Digraph.t -> gadget:Sp_network.built -> float
 (** Resulting size / original size (= gadget size). *)
 
+val logical_rates :
+  ?jobs:int ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps_open:float ->
+  eps_close:float ->
+  t ->
+  Ftcsn_sim.Trials.estimate * Ftcsn_sim.Trials.estimate
+(** [(open_rate, short_rate)]: Monte-Carlo estimates of the probability
+    that one gadget copy under physical failure rates (ε₁, ε₂) presents a
+    logical open (cannot conduct) resp. logical short (terminals
+    contract) — a short-and-open copy counts as short, matching
+    {!logical_pattern}.  Runs on the {!Ftcsn_sim.Trials} engine with a
+    reused per-worker slice buffer; compare against
+    {!Sp_network.open_prob} / {!Sp_network.short_prob} to validate the §3
+    transfer argument. *)
+
 val logical_pattern : t -> Fault.pattern -> Fault.pattern
 (** The §3 transfer argument, executable: collapse a fault pattern on the
     substituted graph to a {e logical} pattern on the original graph.  A

@@ -55,22 +55,17 @@ let superconcentrator_exhaustive ?(max_work = 200_000) net =
     match !violation with None -> `Holds | Some v -> `Violated v
   end
 
-let superconcentrator_sampled ~trials ~rng net =
+let superconcentrator_sampled ?jobs ~trials ~rng net =
   let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
   let n = min n_in n_out in
-  let rec go t =
-    if t = 0 then None
-    else begin
-      let r = 1 + Rng.int rng n in
-      let s = Rng.sample_without_replacement rng ~n:n_in ~k:r in
-      let t_set = Rng.sample_without_replacement rng ~n:n_out ~k:r in
+  Ftcsn_sim.Trials.search ?jobs ~trials ~rng (fun sub ->
+      let r = 1 + Rng.int sub n in
+      let s = Rng.sample_without_replacement sub ~n:n_in ~k:r in
+      let t_set = Rng.sample_without_replacement sub ~n:n_out ~k:r in
       let achieved = sc_probe net ~input_indices:s ~output_indices:t_set in
       if achieved < r then
         Some { r; input_indices = s; output_indices = t_set; achieved }
-      else go (t - 1)
-    end
-  in
-  go trials
+      else None)
 
 let requests_of_perm net pi =
   Array.to_list
@@ -93,18 +88,13 @@ let rearrangeable_exhaustive ?(budget = 500_000) net =
    with Exit -> ());
   !result
 
-let rearrangeable_sampled ~trials ~rng ?(budget = 500_000) net =
+let rearrangeable_sampled ?jobs ~trials ~rng ?(budget = 500_000) net =
   let n = Network.n_inputs net in
-  let rec go t =
-    if t = 0 then None
-    else begin
-      let pi = Rng.permutation rng n in
+  Ftcsn_sim.Trials.search ?jobs ~trials ~rng (fun sub ->
+      let pi = Rng.permutation sub n in
       match Backtrack.route_all ~budget net (requests_of_perm net pi) with
-      | Backtrack.Routed _ -> go (t - 1)
-      | Backtrack.Unroutable | Backtrack.Budget_exceeded -> Some pi
-    end
-  in
-  go trials
+      | Backtrack.Routed _ -> None
+      | Backtrack.Unroutable | Backtrack.Budget_exceeded -> Some pi)
 
 type nb_violation = {
   established : int list list;

@@ -31,11 +31,15 @@ val superconcentrator_exhaustive :
     [`Too_large]. *)
 
 val superconcentrator_sampled :
+  ?jobs:int ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   Ftcsn_networks.Network.t ->
   sc_violation option
-(** Random (r, S, T) probes; [None] = no violation found. *)
+(** Random (r, S, T) probes; [None] = no violation found.  Probes run on
+    the {!Ftcsn_sim.Trials} engine (one substream per probe) and the
+    lowest-indexed violation wins, so the answer is identical at every
+    [jobs]. *)
 
 val rearrangeable_exhaustive :
   ?budget:int -> Ftcsn_networks.Network.t ->
@@ -43,13 +47,15 @@ val rearrangeable_exhaustive :
 (** All n! permutations through the backtracking router; use for n ≤ 5. *)
 
 val rearrangeable_sampled :
+  ?jobs:int ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   ?budget:int ->
   Ftcsn_networks.Network.t ->
   Ftcsn_util.Perm.t option
 (** Random permutations; [Some pi] is a permutation the exact router could
-    not realise within budget. *)
+    not realise within budget.  Deterministically parallel like
+    {!superconcentrator_sampled}. *)
 
 type nb_violation = {
   established : int list list;  (** the blocking set of established paths *)

@@ -1,0 +1,171 @@
+module Rng = Ftcsn_prng.Rng
+module Prob = Ftcsn_util.Prob
+
+type estimate = {
+  successes : int;
+  trials : int;
+  mean : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let of_counts ~successes ~trials =
+  let mean =
+    if trials = 0 then 0.0 else float_of_int successes /. float_of_int trials
+  in
+  let ci_low, ci_high = Prob.wilson_interval ~successes ~trials ~z:1.96 in
+  { successes; trials; mean; ci_low; ci_high }
+
+let half_width e = (e.ci_high -. e.ci_low) /. 2.0
+
+let pp ppf e =
+  Format.fprintf ppf "%.4f [%.4f, %.4f] (%d/%d)" e.mean e.ci_low e.ci_high
+    e.successes e.trials
+
+type progress = {
+  completed : int;
+  cap : int;
+  successes : int;
+  elapsed : float;
+  rate : float;
+  jobs : int;
+}
+
+let default_chunk = 256
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* The scheduler: trial [i] always runs on [Rng.substream root i], so its
+   outcome is a pure function of (root seed, i) and the partition of the
+   index space into chunks/domains cannot affect any result.  Chunks are
+   dispatched in rounds of [jobs] (one chunk stays on the calling domain,
+   the rest go to fresh domains), then consumed strictly in index order;
+   a [`Stop] verdict discards every later chunk, including ones another
+   domain already computed, so adaptive stopping is also scheduling-
+   independent.  Returns the number of trials actually consumed. *)
+let exec ~jobs ~chunk ~cap ~run_chunk ~consume =
+  if jobs < 1 then invalid_arg "Trials: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Trials: chunk must be >= 1";
+  if cap < 0 then invalid_arg "Trials: trials must be >= 0";
+  let n_chunks = (cap + chunk - 1) / chunk in
+  let bounds c = (c * chunk, min cap ((c + 1) * chunk)) in
+  let stopped = ref false in
+  let executed = ref 0 in
+  let c = ref 0 in
+  while (not !stopped) && !c < n_chunks do
+    let batch = min jobs (n_chunks - !c) in
+    let accs = Array.make batch None in
+    if batch = 1 then begin
+      let lo, hi = bounds !c in
+      accs.(0) <- Some (run_chunk ~lo ~hi)
+    end
+    else begin
+      let workers =
+        Array.init (batch - 1) (fun k ->
+            let lo, hi = bounds (!c + k + 1) in
+            Domain.spawn (fun () -> run_chunk ~lo ~hi))
+      in
+      let lo, hi = bounds !c in
+      accs.(0) <- Some (run_chunk ~lo ~hi);
+      Array.iteri (fun k d -> accs.(k + 1) <- Some (Domain.join d)) workers
+    end;
+    Array.iteri
+      (fun k acc ->
+        if not !stopped then begin
+          let lo, hi = bounds (!c + k) in
+          executed := hi;
+          match consume (Option.get acc) ~lo ~hi with
+          | `Stop -> stopped := true
+          | `Continue -> ()
+        end)
+      accs;
+    c := !c + batch
+  done;
+  !executed
+
+let run_scratch ?(jobs = 1) ?(chunk = default_chunk) ?target_ci
+    ?(min_trials = 1000) ?progress ~trials:cap ~rng ~init f =
+  let root = Rng.copy rng in
+  let successes = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let run_chunk ~lo ~hi =
+    let scratch = init () in
+    let s = ref 0 in
+    for i = lo to hi - 1 do
+      if f scratch (Rng.substream root i) then incr s
+    done;
+    !s
+  in
+  let consume s ~lo:_ ~hi =
+    successes := !successes + s;
+    (match progress with
+    | None -> ()
+    | Some cb ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        cb
+          {
+            completed = hi;
+            cap;
+            successes = !successes;
+            elapsed;
+            rate = (if elapsed > 0.0 then float_of_int hi /. elapsed else 0.0);
+            jobs;
+          });
+    match target_ci with
+    | Some target when hi >= min_trials ->
+        let est = of_counts ~successes:!successes ~trials:hi in
+        if half_width est <= target then `Stop else `Continue
+    | _ -> `Continue
+  in
+  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  Rng.advance rng executed;
+  of_counts ~successes:!successes ~trials:executed
+
+let run ?jobs ?chunk ?target_ci ?min_trials ?progress ~trials ~rng f =
+  run_scratch ?jobs ?chunk ?target_ci ?min_trials ?progress ~trials ~rng
+    ~init:(fun () -> ())
+    (fun () sub -> f sub)
+
+let map_reduce ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng ~init
+    ~create_acc ~trial ~combine () =
+  let root = Rng.copy rng in
+  let global = create_acc () in
+  let run_chunk ~lo ~hi =
+    let scratch = init () in
+    let acc = create_acc () in
+    for i = lo to hi - 1 do
+      trial scratch acc (Rng.substream root i)
+    done;
+    acc
+  in
+  let consume acc ~lo:_ ~hi:_ =
+    combine global acc;
+    `Continue
+  in
+  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  Rng.advance rng executed;
+  global
+
+let search ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng f =
+  let root = Rng.copy rng in
+  let found = ref None in
+  let run_chunk ~lo ~hi =
+    let rec go i =
+      if i >= hi then None
+      else
+        match f (Rng.substream root i) with
+        | Some _ as w -> w
+        | None -> go (i + 1)
+    in
+    go lo
+  in
+  let consume acc ~lo:_ ~hi:_ =
+    match acc with
+    | Some _ ->
+        found := acc;
+        `Stop
+    | None -> `Continue
+  in
+  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  Rng.advance rng executed;
+  !found

@@ -1,0 +1,132 @@
+(** Deterministic trial-execution engine for Monte-Carlo simulation.
+
+    Every empirical estimate in this repository — the (ε, δ) survival
+    probabilities of Theorem 2, the Moore–Shannon hammock curves of
+    Proposition 1, Birnbaum criticality, the sampled rearrangeability and
+    superconcentrator deciders — is a loop of independent seeded trials.
+    This module is the single substrate those loops run on.
+
+    {2 Determinism under parallelism}
+
+    Trial [i] always executes on [Rng.substream root i], where [root] is a
+    copy of the caller's stream taken before the run.  A trial's outcome is
+    therefore a pure function of the root seed and its index, and results
+    are bit-identical whether the index space is swept by one domain or
+    fanned out across many ([jobs] only changes wall-clock time, never the
+    returned record).  [Rng.substream root i] coincides with the [(i+1)]-th
+    consecutive [Rng.split] of the root, so a [jobs:1] run also reproduces
+    the historical sequential split-per-trial loops bit-for-bit.  On
+    return, the caller's stream is advanced past every executed trial,
+    exactly as the sequential loop would have left it.
+
+    Adaptive stopping is evaluated on chunk boundaries in index order, so
+    the executed trial count is deterministic too.
+
+    {2 Parallel execution}
+
+    [jobs] > 1 fans chunks of trials out with [Domain.spawn] (OCaml 5
+    map-reduce; no dependencies).  Trial functions must therefore be safe
+    to run concurrently: they may freely read shared immutable data (the
+    network under test) but must keep all mutable state in the per-chunk
+    [scratch] created by [init], which is never shared between domains. *)
+
+type estimate = {
+  successes : int;
+  trials : int;
+  mean : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+val of_counts : successes:int -> trials:int -> estimate
+(** Estimate with a Wilson 95% interval. *)
+
+val half_width : estimate -> float
+(** Half the Wilson interval width — the quantity [target_ci] bounds. *)
+
+val pp : Format.formatter -> estimate -> unit
+
+type progress = {
+  completed : int;  (** trials finished so far *)
+  cap : int;  (** the trial cap for this run *)
+  successes : int;
+  elapsed : float;  (** seconds since the run started *)
+  rate : float;  (** throughput in trials per second *)
+  jobs : int;
+}
+
+val default_chunk : int
+(** Trials per work unit (256): small enough that adaptive stopping is
+    responsive, large enough that domain dispatch cost is amortised. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [~jobs] for "use
+    the whole machine". *)
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?target_ci:float ->
+  ?min_trials:int ->
+  ?progress:(progress -> unit) ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  (Ftcsn_prng.Rng.t -> bool) ->
+  estimate
+(** [run ~trials ~rng f] estimates P[f = true] from up to [trials]
+    independent executions of [f], each on its own substream of [rng].
+
+    - [jobs] (default 1): worker domains.
+    - [chunk] (default {!default_chunk}): trials per work unit.
+    - [target_ci]: adaptive stopping — stop at the first chunk boundary
+      (after [min_trials], default 1000) where the Wilson 95% half-width
+      drops to [target_ci] or below; [trials] remains a hard cap.
+    - [progress]: called on the scheduling domain after every consumed
+      chunk with cumulative counts and throughput. *)
+
+val run_scratch :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?target_ci:float ->
+  ?min_trials:int ->
+  ?progress:(progress -> unit) ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  init:(unit -> 'scratch) ->
+  ('scratch -> Ftcsn_prng.Rng.t -> bool) ->
+  estimate
+(** {!run} with per-worker scratch state: [init] is called once per chunk
+    on the executing domain and its result is threaded through that
+    chunk's trials — the hook for zero-allocation inner loops (reusable
+    fault-pattern buffers, bitsets, …).  Trials must not retain the
+    scratch beyond their own call. *)
+
+val map_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  init:(unit -> 'scratch) ->
+  create_acc:(unit -> 'acc) ->
+  trial:('scratch -> 'acc -> Ftcsn_prng.Rng.t -> unit) ->
+  combine:('acc -> 'acc -> unit) ->
+  unit ->
+  'acc
+(** General deterministic fan-out for non-Bernoulli statistics (paired
+    Birnbaum counters, time-to-degradation sums, …).  Each chunk folds
+    its trials into a fresh accumulator from [create_acc]; chunk
+    accumulators are [combine]d into the first accumulator (the return
+    value) strictly in index order, so any combine — even a non-
+    commutative one — yields the same result at every [jobs]. *)
+
+val search :
+  ?jobs:int ->
+  ?chunk:int ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  (Ftcsn_prng.Rng.t -> 'witness option) ->
+  'witness option
+(** Witness hunt with early exit: runs up to [trials] probes and returns
+    the witness of the {e lowest-indexed} probe that produces one (so the
+    result is independent of [jobs]), or [None].  Rounds dispatched after
+    a hit are skipped. *)

@@ -29,6 +29,36 @@ let test_split_independence () =
   let ys = List.init 10 (fun _ -> Rng.int64 b) in
   checkb "substreams differ" true (xs <> ys)
 
+(* substream i must be bit-equal to the (i+1)-th consecutive split, so the
+   Trials engine can hand trial i its historical stream in O(1) *)
+let test_substream_matches_split () =
+  let root = Rng.create ~seed:7 in
+  for i = 0 to 19 do
+    let by_split =
+      let g = Rng.copy root in
+      let s = ref (Rng.split g) in
+      for _ = 1 to i do
+        s := Rng.split g
+      done;
+      !s
+    in
+    let by_index = Rng.substream root i in
+    for k = 0 to 4 do
+      Alcotest.(check int64)
+        (Printf.sprintf "substream %d draw %d" i k)
+        (Rng.int64 by_split) (Rng.int64 by_index)
+    done
+  done
+
+let test_advance_matches_splits () =
+  let a = Rng.create ~seed:11 in
+  let b = Rng.create ~seed:11 in
+  for _ = 1 to 13 do
+    ignore (Rng.split a)
+  done;
+  Rng.advance b 13;
+  Alcotest.(check int64) "same stream after advance" (Rng.int64 a) (Rng.int64 b)
+
 let test_int_bounds () =
   let g = Rng.create ~seed:3 in
   for _ = 1 to 10_000 do
@@ -227,6 +257,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
           Alcotest.test_case "copy" `Quick test_splitmix_copy;
           Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "substream = iterated split" `Quick
+            test_substream_matches_split;
+          Alcotest.test_case "advance = k splits" `Quick
+            test_advance_matches_splits;
         ] );
       ( "xoshiro",
         [

@@ -10,6 +10,7 @@ module Sp_network = Ftcsn_reliability.Sp_network
 module Hammock = Ftcsn_reliability.Hammock
 module Substitution = Ftcsn_reliability.Substitution
 module Rng = Ftcsn_prng.Rng
+module Trials = Ftcsn_sim.Trials
 
 let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -431,7 +432,7 @@ let test_importance_single_wire () =
   let rng = Rng.create ~seed:88 in
   let est =
     Importance.importance ~trials:500 ~rng ~graph:g ~eps:0.2 ~event
-      ~switches:[| 0 |]
+      ~switches:[| 0 |] ()
   in
   (checkf 1e-9) "open importance" 1.0 est.(0).Importance.open_importance;
   (checkf 1e-9) "close importance" 0.0 est.(0).Importance.close_importance
@@ -446,7 +447,7 @@ let test_importance_redundant_pair () =
   let eps = 0.2 in
   let est =
     Importance.importance ~trials:30_000 ~rng ~graph:g ~eps ~event
-      ~switches:[| 0 |]
+      ~switches:[| 0 |] ()
   in
   (* exact: I0 = P[switch 1 open] = eps *)
   checkb "open importance ~ eps" true
@@ -463,7 +464,7 @@ let test_importance_short_event () =
   let eps = 0.25 in
   let est =
     Importance.importance ~trials:30_000 ~rng ~graph:g ~eps ~event
-      ~switches:[| 0; 1 |]
+      ~switches:[| 0; 1 |] ()
   in
   Array.iter
     (fun e ->
@@ -541,6 +542,71 @@ let test_poly_rejects_large () =
     (Invalid_argument "Poly.failure_polynomial: too many edges") (fun () ->
       ignore (Poly.failure_polynomial g (fun _ -> true)))
 
+(* ---------- trial engine determinism ---------- *)
+
+(* a trial function with enough structure to expose scheduling bugs: each
+   trial draws a variable number of values from its substream *)
+let spiky_trial sub =
+  let n = 1 + Rng.int sub 17 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float sub
+  done;
+  !acc < float_of_int n /. 2.0
+
+let check_estimate msg (a : Trials.estimate) (b : Trials.estimate) =
+  check (msg ^ ": successes") a.Trials.successes b.Trials.successes;
+  check (msg ^ ": trials") a.Trials.trials b.Trials.trials;
+  checkf 0.0 (msg ^ ": mean") a.Trials.mean b.Trials.mean;
+  checkf 0.0 (msg ^ ": ci_low") a.Trials.ci_low b.Trials.ci_low;
+  checkf 0.0 (msg ^ ": ci_high") a.Trials.ci_high b.Trials.ci_high
+
+let run_at ~jobs ?target_ci () =
+  let rng = Rng.create ~seed:2024 in
+  let est = Trials.run ~jobs ?target_ci ~chunk:64 ~trials:2000 ~rng spiky_trial in
+  (* the parent stream must also be advanced identically *)
+  (est, Rng.int64 rng)
+
+let test_trials_jobs_deterministic () =
+  let e1, next1 = run_at ~jobs:1 () in
+  let e4, next4 = run_at ~jobs:4 () in
+  check_estimate "jobs 1 vs 4" e1 e4;
+  Alcotest.(check int64) "parent stream advanced identically" next1 next4;
+  let e3, next3 = run_at ~jobs:3 () in
+  check_estimate "jobs 1 vs 3" e1 e3;
+  Alcotest.(check int64) "parent stream (jobs 3)" next1 next3
+
+let test_trials_adaptive_deterministic () =
+  let e1, next1 = run_at ~jobs:1 ~target_ci:0.03 () in
+  let e4, next4 = run_at ~jobs:4 ~target_ci:0.03 () in
+  check_estimate "adaptive jobs 1 vs 4" e1 e4;
+  Alcotest.(check int64) "parent stream advanced identically" next1 next4;
+  checkb "adaptive stopping actually stopped early" true
+    (e1.Trials.trials < 2000);
+  checkb "respects min_trials floor" true (e1.Trials.trials >= 1000)
+
+let test_estimate_event_jobs_deterministic () =
+  let g = Digraph.of_edges ~n:4 [| (0, 1); (1, 2); (2, 3); (0, 3) |] in
+  let run jobs =
+    let rng = Rng.create ~seed:77 in
+    Monte_carlo.estimate_event ~jobs ~trials:1500 ~rng ~graph:g ~eps_open:0.1
+      ~eps_close:0.1 (fun pattern ->
+        Fault.count pattern Fault.Normal > 2)
+  in
+  check_estimate "estimate_event jobs 1 vs 4" (run 1) (run 4)
+
+let test_search_jobs_deterministic () =
+  let find jobs =
+    let rng = Rng.create ~seed:9 in
+    Trials.search ~jobs ~chunk:16 ~trials:400 ~rng (fun sub ->
+        let v = Rng.int sub 50 in
+        if v = 0 then Some v else None)
+  in
+  match (find 1, find 4) with
+  | Some a, Some b -> check "same witness" a b
+  | None, None -> ()
+  | _ -> Alcotest.fail "search: jobs 1 and jobs 4 disagree on existence"
+
 (* ---------- properties ---------- *)
 
 let prop_survivor_class_count =
@@ -594,12 +660,29 @@ let prop_sp_probs_in_range =
       let ps = Sp_network.short_prob spec ~eps_open:eps ~eps_close:eps in
       po >= 0.0 && po <= 1.0 && ps >= 0.0 && ps <= 1.0)
 
+let prop_sample_into_matches_sample =
+  QCheck2.Test.make ~name:"sample_into consumes the same stream as sample"
+    ~count:200
+    QCheck2.Gen.(triple (int_range 0 100000) (int_range 0 64) (int_range 0 10))
+    (fun (seed, m, e) ->
+      let eps_open = float_of_int e /. 25.0 in
+      let eps_close = (1.0 -. eps_open) /. 3.0 in
+      let a = Rng.create ~seed in
+      let b = Rng.create ~seed in
+      let fresh = Fault.sample a ~eps_open ~eps_close ~m in
+      let buffer = Array.make m Fault.Closed_failure in
+      Fault.sample_into b ~eps_open ~eps_close buffer;
+      (* same pattern AND same post-state: interchangeable mid-stream *)
+      Array.for_all2 Fault.state_equal fresh buffer
+      && Rng.int64 a = Rng.int64 b)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_survivor_class_count;
       prop_survivor_edges_are_normal;
       prop_sp_probs_in_range;
+      prop_sample_into_matches_sample;
     ]
 
 let () =
@@ -684,6 +767,17 @@ let () =
           Alcotest.test_case "logical open" `Quick test_logical_pattern_open;
           Alcotest.test_case "logical short" `Quick test_logical_pattern_short;
           Alcotest.test_case "logical rates" `Quick test_logical_pattern_rates;
+        ] );
+      ( "trials-engine",
+        [
+          Alcotest.test_case "estimates identical at every jobs" `Quick
+            test_trials_jobs_deterministic;
+          Alcotest.test_case "adaptive stopping identical at every jobs" `Quick
+            test_trials_adaptive_deterministic;
+          Alcotest.test_case "estimate_event identical at every jobs" `Quick
+            test_estimate_event_jobs_deterministic;
+          Alcotest.test_case "search witness identical at every jobs" `Quick
+            test_search_jobs_deterministic;
         ] );
       ("properties", props);
     ]
