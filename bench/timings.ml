@@ -120,29 +120,63 @@ type engine_sample = {
   bench : string;
   jobs : int;
   trials : int;
-  seconds : float;
+  seconds : float;  (** wall-clock time of the whole sweep *)
   rate : float;  (** trials per second *)
+  chunks : int;  (** chunk dispatches the engine made *)
+  worker_seconds : float;  (** on-domain chunk time, summed over workers *)
+  overhead_seconds : float;
+      (** wall time not explained by parallel chunk execution:
+          [seconds - worker_seconds / jobs], i.e. domain spawn/join,
+          scheduling and result merging *)
 }
 
+(* Each sweep runs with an in-memory trace sink attached; the engine's
+   per-chunk events give the phase breakdown without touching the clock
+   inside any trial. *)
 let timed ~bench ~jobs ~trials f =
+  let sink, drain = Ftcsn_obs.Trace.memory () in
   let t0 = Unix.gettimeofday () in
-  f ~jobs ~trials;
+  f ~jobs ~trials ~trace:sink;
   let seconds = Unix.gettimeofday () -. t0 in
-  { bench; jobs; trials; seconds; rate = float_of_int trials /. seconds }
+  Ftcsn_obs.Trace.close sink;
+  let chunks = ref 0 in
+  let busy_ns = ref 0 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Ftcsn_obs.Trace.Chunk { elapsed_ns; _ } ->
+          incr chunks;
+          busy_ns := !busy_ns + elapsed_ns
+      | _ -> ())
+    (drain ());
+  let worker_seconds = float_of_int !busy_ns *. 1e-9 in
+  let overhead_seconds =
+    Float.max 0.0 (seconds -. (worker_seconds /. float_of_int jobs))
+  in
+  {
+    bench;
+    jobs;
+    trials;
+    seconds;
+    rate = float_of_int trials /. seconds;
+    chunks = !chunks;
+    worker_seconds;
+    overhead_seconds;
+  }
 
 let engine_samples ~jobs_list () =
   let h = Ftcsn_reliability.Hammock.make ~rows:8 ~width:8 in
-  let hammock_sweep ~jobs ~trials =
+  let hammock_sweep ~jobs ~trials ~trace =
     let rng = Rng.create ~seed:42 in
     ignore
-      (Ftcsn_reliability.Hammock.open_failure_prob ~jobs ~trials ~rng ~eps:0.05
-         h)
+      (Ftcsn_reliability.Hammock.open_failure_prob ~jobs ~trace ~trials ~rng
+         ~eps:0.05 h)
   in
   let benes = Benes.network (Benes.make 16) in
-  let survival_sweep ~jobs ~trials =
+  let survival_sweep ~jobs ~trials ~trace =
     let rng = Rng.create ~seed:43 in
     ignore
-      (Ftcsn.Pipeline.survival ~jobs ~trials ~rng ~eps:0.03
+      (Ftcsn.Pipeline.survival ~jobs ~trace ~trials ~rng ~eps:0.03
          ~probe:Ftcsn.Pipeline.sc_probe_only benes)
   in
   List.concat_map
@@ -153,30 +187,31 @@ let engine_samples ~jobs_list () =
       ])
     jobs_list
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_json path samples =
+  let open Ftcsn_obs.Json in
+  let sample_json s =
+    Obj
+      [
+        ("name", String s.bench);
+        ("jobs", Int s.jobs);
+        ("trials", Int s.trials);
+        ("seconds", Float s.seconds);
+        ("trials_per_sec", Float s.rate);
+        ("chunks", Int s.chunks);
+        ("worker_seconds", Float s.worker_seconds);
+        ("overhead_seconds", Float s.overhead_seconds);
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("cores", Int (Domain.recommended_domain_count ()));
+        ("benchmarks", List (List.map sample_json samples));
+      ]
+  in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"cores\": %d,\n  \"benchmarks\": [\n"
-    (Domain.recommended_domain_count ());
-  List.iteri
-    (fun i s ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"jobs\": %d, \"trials\": %d, \"seconds\": \
-         %.4f, \"trials_per_sec\": %.1f}%s\n"
-        (json_escape s.bench) s.jobs s.trials s.seconds s.rate
-        (if i = List.length samples - 1 then "" else ","))
-    samples;
-  Printf.fprintf oc "  ]\n}\n";
+  output_string oc (to_string doc);
+  output_char oc '\n';
   close_out oc
 
 let run_engine ?(json_path = "BENCH_timings.json") () =
@@ -184,8 +219,11 @@ let run_engine ?(json_path = "BENCH_timings.json") () =
   let samples = engine_samples ~jobs_list:[ 1; 2; 4 ] () in
   List.iter
     (fun s ->
-      Printf.printf "%-28s jobs=%d %8d trials  %6.2fs  %10.0f trials/s\n"
-        s.bench s.jobs s.trials s.seconds s.rate)
+      Printf.printf
+        "%-28s jobs=%d %8d trials  %6.2fs  %10.0f trials/s  (%d chunks, \
+         %.2fs busy, %.2fs overhead)\n"
+        s.bench s.jobs s.trials s.seconds s.rate s.chunks s.worker_seconds
+        s.overhead_seconds)
     samples;
   (* speedup of the hammock sweep vs jobs=1, the headline number *)
   (match

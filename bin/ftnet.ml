@@ -14,14 +14,116 @@
 
    Every Monte-Carlo workload runs on the Ftcsn_sim.Trials engine, so
    --jobs only changes wall-clock time: estimates, witnesses and ranks are
-   bit-identical at every job count. *)
+   bit-identical at every job count.  The stochastic subcommands share the
+   observability flags --metrics FILE (JSON counters/timers/gauges),
+   --trace FILE (JSONL span/chunk/stop events) and --progress (live
+   stderr); tracing is strictly observational, so results are also
+   bit-identical with it on or off.
+
+   Error convention: invalid flag values and unopenable metric/trace
+   paths print "ftnet: error: ..." on stderr and exit with code 2. *)
 
 module Network = Ftcsn_networks.Network
 module Rng = Ftcsn_prng.Rng
 module Fault = Ftcsn_reliability.Fault
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
 module Trials = Ftcsn_sim.Trials
+module Obs_json = Ftcsn_obs.Json
+module Obs_metrics = Ftcsn_obs.Metrics
+module Obs_timer = Ftcsn_obs.Timer
+module Counter = Ftcsn_obs.Counter
+module Trace = Ftcsn_obs.Trace
 open Cmdliner
+
+(* ---------- error convention ---------- *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("ftnet: error: " ^ msg);
+      exit 2)
+    fmt
+
+let check_pos flag v =
+  if v < 1 then die "invalid %s value %d: must be an integer >= 1" flag v
+  else v
+
+let parse_target_ci = function
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some w when w > 0.0 && w < 1.0 -> Some w
+      | _ ->
+          die "invalid --target-ci value %S: expected a half-width in (0, 1)"
+            s)
+
+(* ---------- observability ---------- *)
+
+type obs = {
+  trace : Trace.sink option;
+  registry : Obs_metrics.t;
+  progress : (Trials.progress -> unit) option;
+}
+
+let progress_printer () =
+  let last = ref neg_infinity in
+  fun (p : Trials.progress) ->
+    if p.Trials.elapsed -. !last >= 0.2 || p.Trials.completed >= p.Trials.cap
+    then begin
+      last := p.Trials.elapsed;
+      Printf.eprintf
+        "progress: %d/%d trials, %d successes, %.0f trials/s (jobs=%d)\n%!"
+        p.Trials.completed p.Trials.cap p.Trials.successes p.Trials.rate
+        p.Trials.jobs
+    end
+
+(* Sinks are opened before any work runs, so an unwritable path fails
+   fast (exit 2) instead of after a long sweep.  The metrics report is
+   written when the subcommand body returns (also on exceptions). *)
+let with_obs (metrics_path, trace_path, progress) f =
+  let open_out_checked flag path =
+    try open_out path
+    with Sys_error msg -> die "cannot open %s file %S: %s" flag path msg
+  in
+  let metrics_oc = Option.map (open_out_checked "--metrics") metrics_path in
+  let trace_oc = Option.map (open_out_checked "--trace") trace_path in
+  let obs =
+    {
+      trace = Option.map Trace.to_channel trace_oc;
+      registry = Obs_metrics.default;
+      progress = (if progress then Some (progress_printer ()) else None);
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Trace.close obs.trace;
+      Option.iter close_out trace_oc;
+      match metrics_oc with
+      | None -> ()
+      | Some oc ->
+          output_string oc
+            (Obs_json.to_string (Obs_metrics.to_json obs.registry));
+          output_char oc '\n';
+          close_out oc)
+    (fun () -> f obs)
+
+(* time a coarse phase: a span in the trace and a phase.* timer in the
+   metrics report *)
+let phase obs name f =
+  let tm = Obs_metrics.timer obs.registry ("phase." ^ name) in
+  Trace.span obs.trace name (fun () -> Obs_timer.time tm f)
+
+let note_estimate obs name (est : Trials.estimate) =
+  let gauge k v = Obs_metrics.set_gauge obs.registry (name ^ "." ^ k) v in
+  gauge "mean" est.Trials.mean;
+  gauge "ci_low" est.Trials.ci_low;
+  gauge "ci_high" est.Trials.ci_high;
+  Counter.add
+    (Obs_metrics.counter obs.registry "trials.executed")
+    est.Trials.trials;
+  Counter.add
+    (Obs_metrics.counter obs.registry "trials.successes")
+    est.Trials.successes
 
 (* ---------- seed derivation ---------- *)
 
@@ -66,31 +168,46 @@ let n_arg =
   let doc = "Number of terminals (rounded to the family's natural grid)." in
   Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
 
-let pos_int =
-  let parse s =
-    match int_of_string_opt s with
-    | Some v when v >= 1 -> Ok v
-    | Some _ -> Error (`Msg "must be >= 1")
-    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
 let jobs_arg =
   let doc =
     "Worker domains for Monte-Carlo trials.  Results are bit-identical at \
      every J; only wall-clock time changes."
   in
-  Arg.(value & opt pos_int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
 let target_ci_arg =
   let doc =
     "Adaptive stopping: keep running trials until the Wilson 95% interval \
      half-width drops to W or below (the --trials cap still applies)."
   in
-  Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"W" ~doc)
+  Arg.(value & opt (some string) None & info [ "target-ci" ] ~docv:"W" ~doc)
 
 let trials_arg ~default ~doc =
   Arg.(value & opt int default & info [ "trials" ] ~docv:"T" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics report (operation counters, per-phase timers, \
+     estimate gauges) to $(docv) when the subcommand finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream structured JSONL trace events to $(docv): phase spans, one \
+     event per trial chunk (worker domain, wall-clock cost, RNG substream \
+     range) and every adaptive-stopping decision with its Wilson \
+     half-width.  Tracing never changes estimates."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let progress_flag =
+  let doc = "Report live trial progress on stderr." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let obs_args =
+  Term.(
+    const (fun m t p -> (m, t, p)) $ metrics_arg $ trace_arg $ progress_flag)
 
 let family_arg =
   let families =
@@ -161,8 +278,12 @@ let build_cmd =
 (* ---------- faults ---------- *)
 
 let faults_cmd =
-  let run family n seed eps radius trials jobs target_ci =
-    let net = build_network family ~n ~seed in
+  let run family n seed eps radius trials jobs target_ci obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let target_ci = parse_target_ci target_ci in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.faults seed in
     let m = Network.size net in
     let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
@@ -188,12 +309,16 @@ let faults_cmd =
       (* survey mode: estimate how often a fresh pattern leaves a clean
          survivor (no shorted terminals, no isolated inputs) *)
       let est =
-        Monte_carlo.estimate_event ~jobs ?target_ci ~trials ~rng
-          ~graph:net.Network.graph ~eps_open:eps ~eps_close:eps (fun pattern ->
-            let strip = Ftcsn.Fault_strip.strip ~radius net pattern in
-            Ftcsn.Fault_strip.healthy strip
-            && Ftcsn.Fault_strip.isolated_inputs net strip = [])
+        phase obs "estimate" (fun () ->
+            Monte_carlo.estimate_event ~jobs ?target_ci
+              ?progress:obs.progress ?trace:obs.trace ~label:"faults.survey"
+              ~trials ~rng ~graph:net.Network.graph ~eps_open:eps
+              ~eps_close:eps (fun pattern ->
+                let strip = Ftcsn.Fault_strip.strip ~radius net pattern in
+                Ftcsn.Fault_strip.healthy strip
+                && Ftcsn.Fault_strip.isolated_inputs net strip = []))
       in
+      note_estimate obs "faults.clean" est;
       Format.printf "P[survivor clean] = %a  (%d trials, jobs=%d)@."
         Monte_carlo.pp est est.Monte_carlo.trials jobs
     end
@@ -212,13 +337,17 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ radius $ trials
-      $ jobs_arg $ target_ci_arg)
+      $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- route ---------- *)
 
 let route_cmd =
-  let run family n seed eps verbose trials jobs target_ci =
-    let net = build_network family ~n ~seed in
+  let run family n seed eps verbose trials jobs target_ci obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let target_ci = parse_target_ci target_ci in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.route seed in
     let n' = min (Network.n_inputs net) (Network.n_outputs net) in
     if trials <= 1 then begin
@@ -253,25 +382,29 @@ let route_cmd =
       (* survey mode: each trial draws its own fault pattern and its own
          permutation; success = every request routed greedily *)
       let est =
-        Monte_carlo.estimate ~jobs ?target_ci ~trials ~rng (fun sub ->
-            let allowed, routing_net =
-              if eps > 0.0 then begin
-                let pattern =
-                  Fault.sample sub ~eps_open:eps ~eps_close:eps
-                    ~m:(Network.size net)
+        phase obs "estimate" (fun () ->
+            Monte_carlo.estimate ~jobs ?target_ci ?progress:obs.progress
+              ?trace:obs.trace ~label:"route.survey" ~trials ~rng (fun sub ->
+                let allowed, routing_net =
+                  if eps > 0.0 then begin
+                    let pattern =
+                      Fault.sample sub ~eps_open:eps ~eps_close:eps
+                        ~m:(Network.size net)
+                    in
+                    let strip = Ftcsn.Fault_strip.strip net pattern in
+                    ( strip.Ftcsn.Fault_strip.allowed,
+                      Ftcsn.Fault_strip.surviving_network net strip )
+                  end
+                  else ((fun _ -> true), net)
                 in
-                let strip = Ftcsn.Fault_strip.strip net pattern in
-                ( strip.Ftcsn.Fault_strip.allowed,
-                  Ftcsn.Fault_strip.surviving_network net strip )
-              end
-              else ((fun _ -> true), net)
-            in
-            let pi = Rng.permutation sub n' in
-            let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
-            let success = ref 0 in
-            ignore (Ftcsn_routing.Greedy.route_permutation router pi ~success);
-            !success = n')
+                let pi = Rng.permutation sub n' in
+                let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
+                let success = ref 0 in
+                ignore
+                  (Ftcsn_routing.Greedy.route_permutation router pi ~success);
+                !success = n'))
       in
+      note_estimate obs "route.full" est;
       Format.printf
         "P[random permutation fully routes, eps=%g] = %a  (%d trials, jobs=%d)@."
         eps Monte_carlo.pp est est.Monte_carlo.trials jobs
@@ -290,75 +423,89 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ verbose $ trials
-      $ jobs_arg $ target_ci_arg)
+      $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- check ---------- *)
 
 let check_cmd =
-  let run family n seed trials jobs target_ci =
-    let net = build_network family ~n ~seed in
+  let run family n seed trials jobs target_ci obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let target_ci = parse_target_ci target_ci in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.check seed in
     Format.printf "%a@." Network.pp net;
-    (match
-       Ftcsn_routing.Properties.superconcentrator_exhaustive ~max_work:100_000 net
-     with
-    | `Holds -> Format.printf "superconcentrator: yes (exhaustive)@."
-    | `Violated v ->
-        Format.printf "superconcentrator: NO (r=%d achieved=%d)@."
-          v.Ftcsn_routing.Properties.r v.Ftcsn_routing.Properties.achieved
-    | `Too_large -> (
+    phase obs "superconcentrator" (fun () ->
         match
-          Ftcsn_routing.Properties.superconcentrator_sampled ~jobs ~trials ~rng
-            net
+          Ftcsn_routing.Properties.superconcentrator_exhaustive
+            ~max_work:100_000 net
         with
-        | None ->
-            Format.printf "superconcentrator: probably (%d samples)@." trials
-        | Some v ->
-            Format.printf "superconcentrator: NO (sampled r=%d)@."
-              v.Ftcsn_routing.Properties.r));
-    if Network.n_inputs net <= 5 then begin
-      match Ftcsn_routing.Properties.rearrangeable_exhaustive net with
-      | `Holds -> Format.printf "rearrangeable: yes (exhaustive)@."
-      | `Violated pi ->
-          Format.printf "rearrangeable: NO (witness %s)@."
-            (Format.asprintf "%a" Ftcsn_util.Perm.pp pi)
-      | `Budget_exceeded -> Format.printf "rearrangeable: budget exceeded@."
-    end
-    else begin
-      let perm_trials = max 5 (trials / 5) in
-      match
-        Ftcsn_routing.Properties.rearrangeable_sampled ~jobs ~trials:perm_trials
-          ~rng net
-      with
-      | None ->
-          Format.printf "rearrangeable: probably (%d samples)@." perm_trials
-      | Some _ -> Format.printf "rearrangeable: NO (sampled witness)@."
-    end;
-    if Network.n_inputs net <= 4 && Network.size net <= 64 then begin
-      match
-        Ftcsn_routing.Properties.nonblocking_exhaustive ~max_states:100_000 net
-      with
-      | `Holds -> Format.printf "strictly nonblocking: yes (exhaustive)@."
-      | `Violated _ -> Format.printf "strictly nonblocking: NO@."
-      | `Budget_exceeded -> Format.printf "strictly nonblocking: budget exceeded@."
-    end
-    else begin
-      (* estimate P[a 200-step stress episode blocks nothing] so that
-         --target-ci / --jobs have something to sharpen *)
-      let episodes = max 5 (trials / 5) in
-      let steps = 200 in
-      let est =
-        Monte_carlo.estimate ~jobs ?target_ci ~trials:episodes ~rng (fun sub ->
-            let stats =
-              Ftcsn_routing.Properties.nonblocking_stress ~steps ~rng:sub net
-            in
-            stats.Ftcsn_routing.Session.blocked = 0)
-      in
-      Format.printf
-        "nonblocking stress: P[0 blocked in %d-step episode] = %a  (%d \
-         episodes, jobs=%d)@."
-        steps Monte_carlo.pp est est.Monte_carlo.trials jobs
-    end
+        | `Holds -> Format.printf "superconcentrator: yes (exhaustive)@."
+        | `Violated v ->
+            Format.printf "superconcentrator: NO (r=%d achieved=%d)@."
+              v.Ftcsn_routing.Properties.r v.Ftcsn_routing.Properties.achieved
+        | `Too_large -> (
+            match
+              Ftcsn_routing.Properties.superconcentrator_sampled ~jobs
+                ?trace:obs.trace ~trials ~rng net
+            with
+            | None ->
+                Format.printf "superconcentrator: probably (%d samples)@." trials
+            | Some v ->
+                Format.printf "superconcentrator: NO (sampled r=%d)@."
+                  v.Ftcsn_routing.Properties.r));
+    phase obs "rearrangeable" (fun () ->
+        if Network.n_inputs net <= 5 then begin
+          match Ftcsn_routing.Properties.rearrangeable_exhaustive net with
+          | `Holds -> Format.printf "rearrangeable: yes (exhaustive)@."
+          | `Violated pi ->
+              Format.printf "rearrangeable: NO (witness %s)@."
+                (Format.asprintf "%a" Ftcsn_util.Perm.pp pi)
+          | `Budget_exceeded -> Format.printf "rearrangeable: budget exceeded@."
+        end
+        else begin
+          let perm_trials = max 5 (trials / 5) in
+          match
+            Ftcsn_routing.Properties.rearrangeable_sampled ~jobs
+              ?trace:obs.trace ~trials:perm_trials ~rng net
+          with
+          | None ->
+              Format.printf "rearrangeable: probably (%d samples)@." perm_trials
+          | Some _ -> Format.printf "rearrangeable: NO (sampled witness)@."
+        end);
+    phase obs "nonblocking" (fun () ->
+        if Network.n_inputs net <= 4 && Network.size net <= 64 then begin
+          match
+            Ftcsn_routing.Properties.nonblocking_exhaustive ~max_states:100_000
+              net
+          with
+          | `Holds -> Format.printf "strictly nonblocking: yes (exhaustive)@."
+          | `Violated _ -> Format.printf "strictly nonblocking: NO@."
+          | `Budget_exceeded ->
+              Format.printf "strictly nonblocking: budget exceeded@."
+        end
+        else begin
+          (* estimate P[a 200-step stress episode blocks nothing] so that
+             --target-ci / --jobs have something to sharpen *)
+          let episodes = max 5 (trials / 5) in
+          let steps = 200 in
+          let est =
+            Monte_carlo.estimate ~jobs ?target_ci ?progress:obs.progress
+              ?trace:obs.trace ~label:"check.nonblocking_stress"
+              ~trials:episodes ~rng (fun sub ->
+                let stats =
+                  Ftcsn_routing.Properties.nonblocking_stress ~steps ~rng:sub
+                    net
+                in
+                stats.Ftcsn_routing.Session.blocked = 0)
+          in
+          note_estimate obs "check.nonblocking_stress" est;
+          Format.printf
+            "nonblocking stress: P[0 blocked in %d-step episode] = %a  (%d \
+             episodes, jobs=%d)@."
+            steps Monte_carlo.pp est est.Monte_carlo.trials jobs
+        end)
   in
   let trials =
     trials_arg ~default:100
@@ -370,20 +517,29 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ trials $ jobs_arg
-      $ target_ci_arg)
+      $ target_ci_arg $ obs_args)
 
 (* ---------- survive ---------- *)
 
 let survive_cmd =
-  let run family n seed eps trials jobs target_ci =
-    let net = build_network family ~n ~seed in
+  let run family n seed eps trials jobs target_ci obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let target_ci = parse_target_ci target_ci in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.survive seed in
     let last_rate = ref 0.0 in
-    let est =
-      Ftcsn.Pipeline.survival ~jobs ?target_ci
-        ~progress:(fun p -> last_rate := p.Trials.rate)
-        ~trials ~rng ~eps ~probe:Ftcsn.Pipeline.sc_probe_only net
+    let progress p =
+      last_rate := p.Trials.rate;
+      match obs.progress with Some cb -> cb p | None -> ()
     in
+    let est =
+      phase obs "estimate" (fun () ->
+          Ftcsn.Pipeline.survival ~jobs ?target_ci ~progress ?trace:obs.trace
+            ~trials ~rng ~eps ~probe:Ftcsn.Pipeline.sc_probe_only net)
+    in
+    note_estimate obs "survive" est;
     Format.printf "%a@." Network.pp net;
     Format.printf
       "P[survives eps=%g, superconcentrator probes] = %.3f  (95%% CI [%.3f, %.3f], %d trials)@."
@@ -400,16 +556,23 @@ let survive_cmd =
   Cmd.v (Cmd.info "survive" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials $ jobs_arg
-      $ target_ci_arg)
+      $ target_ci_arg $ obs_args)
 
 (* ---------- degrade ---------- *)
 
 let degrade_cmd =
-  let run family n seed hazard ticks trials jobs =
-    let net = build_network family ~n ~seed in
+  let run family n seed hazard ticks trials jobs obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let ticks = check_pos "--ticks" ticks in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.degrade seed in
     if trials <= 1 then begin
-      let stats = Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net in
+      let stats =
+        phase obs "session" (fun () ->
+            Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net)
+      in
       Format.printf "%a@." Network.pp net;
       Format.printf
         "ticks=%d placed=%d blocked=%d dropped=%d rerouted=%d failures=%d@."
@@ -422,9 +585,11 @@ let degrade_cmd =
     end
     else begin
       let mttd =
-        Ftcsn.Ft_session.mean_time_to_degradation ~jobs ~rng ~hazard ~trials
-          ~max_ticks:ticks net
+        phase obs "estimate" (fun () ->
+            Ftcsn.Ft_session.mean_time_to_degradation ~jobs ?trace:obs.trace
+              ~rng ~hazard ~trials ~max_ticks:ticks net)
       in
+      Obs_metrics.set_gauge obs.registry "degrade.mttd_ticks" mttd;
       Format.printf "%a@." Network.pp net;
       Format.printf
         "mean time to degradation: %.0f ticks (%d trials, horizon %d, jobs=%d)@."
@@ -448,13 +613,17 @@ let degrade_cmd =
   Cmd.v (Cmd.info "degrade" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ hazard $ ticks $ trials
-      $ jobs_arg)
+      $ jobs_arg $ obs_args)
 
 (* ---------- critical ---------- *)
 
 let critical_cmd =
-  let run family n seed eps sample trials jobs =
-    let net = build_network family ~n ~seed in
+  let run family n seed eps sample trials jobs obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_pos "--jobs" jobs in
+    let sample = check_pos "--sample" sample in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.critical seed in
     let g = net.Network.graph in
     (* event: the stripped survivor fails the class-fair probes *)
@@ -464,8 +633,9 @@ let critical_cmd =
       || Ftcsn.Fault_strip.isolated_inputs net strip <> []
     in
     let ranked =
-      Ftcsn_reliability.Importance.rank ~jobs ~trials ~rng ~graph:g ~eps ~event
-        ~sample ()
+      phase obs "estimate" (fun () ->
+          Ftcsn_reliability.Importance.rank ~jobs ?trace:obs.trace ~trials
+            ~rng ~graph:g ~eps ~event ~sample ())
     in
     Format.printf "%a@." Network.pp net;
     Format.printf "most critical sampled switches (Birnbaum, %d trials):@."
@@ -491,7 +661,7 @@ let critical_cmd =
   Cmd.v (Cmd.info "critical" ~doc)
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ sample $ trials
-      $ jobs_arg)
+      $ jobs_arg $ obs_args)
 
 (* ---------- render ---------- *)
 

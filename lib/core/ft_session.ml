@@ -261,9 +261,10 @@ let time_to_degradation_trial ~rng ~hazard ~max_ticks net =
   done;
   !t
 
-let mean_time_to_degradation ?jobs ~rng ~hazard ~trials ~max_ticks net =
+let mean_time_to_degradation ?jobs ?trace ~rng ~hazard ~trials ~max_ticks net =
   let horizon =
-    Ftcsn_sim.Trials.map_reduce ?jobs ~trials ~rng
+    Ftcsn_sim.Trials.map_reduce ?jobs ?trace ~label:"ft_session.mttd"
+      ~trials ~rng
       ~init:(fun () -> ())
       ~create_acc:(fun () -> ref 0.0)
       ~trial:(fun () acc sub ->

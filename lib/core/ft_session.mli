@@ -36,6 +36,7 @@ val run :
 
 val mean_time_to_degradation :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   rng:Ftcsn_prng.Rng.t ->
   hazard:float ->
   trials:int ->

@@ -121,9 +121,10 @@ let trial ~rng ~eps ?(strip_radius = 0) ?(probe = default_probe) net =
         if failures = 0 then Survived else Unroutable failures
   end
 
-let survival ?jobs ?target_ci ?progress ~trials ~rng ~eps ?strip_radius ?probe
-    net =
-  Monte_carlo.estimate ?jobs ?target_ci ?progress ~trials ~rng (fun sub ->
+let survival ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps ?strip_radius
+    ?probe net =
+  Monte_carlo.estimate ?jobs ?target_ci ?progress ?trace
+    ~label:"pipeline.survival" ~trials ~rng (fun sub ->
       match trial ~rng:sub ~eps ?strip_radius ?probe net with
       | Survived -> true
       | Shorted _ | Isolated _ | Unroutable _ -> false)

@@ -64,6 +64,7 @@ val survival :
   ?jobs:int ->
   ?target_ci:float ->
   ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   eps:float ->
@@ -74,6 +75,8 @@ val survival :
 (** Monte-Carlo estimate of P[trial = Survived], on the
     {!Ftcsn_sim.Trials} engine: one substream per trial, so the estimate
     is identical at every [jobs]; [target_ci] stops early once the Wilson
-    95% half-width is small enough. *)
+    95% half-width is small enough.  [trace] streams the engine's
+    structured JSONL events (chunk timings, stopping decisions) without
+    perturbing the estimate. *)
 
 val verdict_label : verdict -> string

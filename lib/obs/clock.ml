@@ -1,0 +1,20 @@
+let raw_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let epoch = raw_ns ()
+
+(* high-water mark: readings never decrease, across all domains *)
+let last = Atomic.make 0
+
+let now_ns () =
+  let raw = raw_ns () - epoch in
+  let rec fix () =
+    let prev = Atomic.get last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else fix ()
+  in
+  fix ()
+
+let elapsed_ns ~since =
+  let d = now_ns () - since in
+  if d < 0 then 0 else d

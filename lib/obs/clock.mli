@@ -1,0 +1,27 @@
+(** Monotonized nanosecond clock for telemetry timestamps.
+
+    The OCaml standard library exposes no [CLOCK_MONOTONIC] without C
+    stubs, and this library is deliberately stub- and dependency-free, so
+    the clock is built from [Unix.gettimeofday] and {e monotonized}: a
+    process-wide atomic high-water mark guarantees that [now_ns] never
+    decreases, even if the wall clock steps backwards (NTP adjustment)
+    and even when read concurrently from several domains.
+
+    Telemetry only ever subtracts two readings, so the absolute epoch is
+    irrelevant; it is fixed at library initialisation to keep trace
+    timestamps small and human-scannable.
+
+    Resolution is that of [gettimeofday] (microseconds on every platform
+    we run on), reported in nanoseconds for forward compatibility.
+    Readings are cheap (one syscall, one CAS) but are {e not} meant for
+    micro-benchmarking single operations — use Bechamel for that.  The
+    trial engine reads the clock only at chunk granularity, never inside
+    the per-trial hot path. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the library was initialised; non-decreasing across
+    all domains of the process. *)
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since:t0] is [now_ns () - t0], clamped to be
+    non-negative. *)

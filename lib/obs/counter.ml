@@ -1,0 +1,13 @@
+type t = { name : string; cell : int Atomic.t }
+
+let create ?(init = 0) name = { name; cell = Atomic.make init }
+
+let name t = t.name
+
+let incr t = Atomic.incr t.cell
+
+let add t n = ignore (Atomic.fetch_and_add t.cell n)
+
+let get t = Atomic.get t.cell
+
+let reset t = Atomic.set t.cell 0

@@ -1,0 +1,28 @@
+(** Named atomic counters.
+
+    A counter is a single [Atomic.t] cell: increments are lock-free,
+    linearizable, and safe to issue from any domain — including from
+    inside trial-engine worker chunks — without perturbing determinism
+    (a counter is write-only from the instrumented code's point of
+    view; nothing downstream of the RNG ever reads one).
+
+    Counters are usually owned by a {!Metrics} registry, which
+    deduplicates them by name and serializes them into the [--metrics]
+    JSON report. *)
+
+type t
+
+val create : ?init:int -> string -> t
+(** A fresh counter; [init] defaults to 0. *)
+
+val name : t -> string
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+
+val get : t -> int
+
+val reset : t -> unit
+(** Set back to 0 (not atomic with respect to a concurrent {!add}'s
+    read-modify-write — the addend may survive; fine for telemetry). *)

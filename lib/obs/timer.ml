@@ -1,0 +1,36 @@
+type stopwatch = int
+
+let start () = Clock.now_ns ()
+
+let elapsed_ns sw = Clock.elapsed_ns ~since:sw
+
+type t = { hist : Histogram.t }
+
+let create () = { hist = Histogram.create () }
+
+let record_ns t ns = Histogram.record t.hist ns
+
+let time t f =
+  let sw = start () in
+  Fun.protect ~finally:(fun () -> record_ns t (elapsed_ns sw)) f
+
+let count t = Histogram.count t.hist
+
+let total_ns t = Histogram.sum t.hist
+
+let mean_ns t = Histogram.mean t.hist
+
+let max_ns t = Histogram.max_value t.hist
+
+let histogram t = t.hist
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int (count t));
+      ("total_ns", Json.Int (total_ns t));
+      ("mean_ns", Json.Float (mean_ns t));
+      ("max_ns", Json.Int (max_ns t));
+      ("p50_ns", Json.Int (Histogram.quantile t.hist 0.5));
+      ("p99_ns", Json.Int (Histogram.quantile t.hist 0.99));
+    ]

@@ -1,0 +1,188 @@
+type event =
+  | Span_begin of { span : int; name : string }
+  | Span_end of { span : int; name : string; elapsed_ns : int }
+  | Run_begin of {
+      run : int;
+      label : string;
+      cap : int;
+      chunk : int;
+      jobs : int;
+      target_ci : float option;
+      min_trials : int;
+    }
+  | Chunk of {
+      run : int;
+      lo : int;
+      hi : int;
+      domain : int;
+      elapsed_ns : int;
+      successes : int option;
+    }
+  | Stop_check of {
+      run : int;
+      trials : int;
+      successes : int;
+      half_width : float;
+      target : float;
+      stop : bool;
+    }
+  | Run_end of {
+      run : int;
+      executed : int;
+      successes : int option;
+      elapsed_ns : int;
+    }
+
+(* ---------- serialization ---------- *)
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+let event_to_json ~ts_ns ev =
+  let fields =
+    match ev with
+    | Span_begin { span; name } ->
+        [ ("ev", Json.String "span_begin"); ("span", Json.Int span);
+          ("name", Json.String name) ]
+    | Span_end { span; name; elapsed_ns } ->
+        [ ("ev", Json.String "span_end"); ("span", Json.Int span);
+          ("name", Json.String name); ("elapsed_ns", Json.Int elapsed_ns) ]
+    | Run_begin { run; label; cap; chunk; jobs; target_ci; min_trials } ->
+        [ ("ev", Json.String "run_begin"); ("run", Json.Int run);
+          ("label", Json.String label); ("cap", Json.Int cap);
+          ("chunk", Json.Int chunk); ("jobs", Json.Int jobs);
+          ("target_ci", opt_float target_ci);
+          ("min_trials", Json.Int min_trials) ]
+    | Chunk { run; lo; hi; domain; elapsed_ns; successes } ->
+        [ ("ev", Json.String "chunk"); ("run", Json.Int run);
+          ("lo", Json.Int lo); ("hi", Json.Int hi);
+          ("domain", Json.Int domain); ("elapsed_ns", Json.Int elapsed_ns);
+          ("successes", opt_int successes) ]
+    | Stop_check { run; trials; successes; half_width; target; stop } ->
+        [ ("ev", Json.String "stop_check"); ("run", Json.Int run);
+          ("trials", Json.Int trials); ("successes", Json.Int successes);
+          ("half_width", Json.Float half_width); ("target", Json.Float target);
+          ("stop", Json.Bool stop) ]
+    | Run_end { run; executed; successes; elapsed_ns } ->
+        [ ("ev", Json.String "run_end"); ("run", Json.Int run);
+          ("executed", Json.Int executed); ("successes", opt_int successes);
+          ("elapsed_ns", Json.Int elapsed_ns) ]
+  in
+  Json.Obj (("ts_ns", Json.Int ts_ns) :: fields)
+
+let event_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace event: missing or invalid %S" name)
+  in
+  let opt_field name conv =
+    match Json.member name j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match conv v with
+        | Some v -> Ok (Some v)
+        | None -> Error (Printf.sprintf "trace event: invalid %S" name))
+  in
+  let* ts_ns = field "ts_ns" Json.to_int in
+  let* ev = field "ev" Json.to_str in
+  let* event =
+    match ev with
+    | "span_begin" ->
+        let* span = field "span" Json.to_int in
+        let* name = field "name" Json.to_str in
+        Ok (Span_begin { span; name })
+    | "span_end" ->
+        let* span = field "span" Json.to_int in
+        let* name = field "name" Json.to_str in
+        let* elapsed_ns = field "elapsed_ns" Json.to_int in
+        Ok (Span_end { span; name; elapsed_ns })
+    | "run_begin" ->
+        let* run = field "run" Json.to_int in
+        let* label = field "label" Json.to_str in
+        let* cap = field "cap" Json.to_int in
+        let* chunk = field "chunk" Json.to_int in
+        let* jobs = field "jobs" Json.to_int in
+        let* target_ci = opt_field "target_ci" Json.to_float in
+        let* min_trials = field "min_trials" Json.to_int in
+        Ok (Run_begin { run; label; cap; chunk; jobs; target_ci; min_trials })
+    | "chunk" ->
+        let* run = field "run" Json.to_int in
+        let* lo = field "lo" Json.to_int in
+        let* hi = field "hi" Json.to_int in
+        let* domain = field "domain" Json.to_int in
+        let* elapsed_ns = field "elapsed_ns" Json.to_int in
+        let* successes = opt_field "successes" Json.to_int in
+        Ok (Chunk { run; lo; hi; domain; elapsed_ns; successes })
+    | "stop_check" ->
+        let* run = field "run" Json.to_int in
+        let* trials = field "trials" Json.to_int in
+        let* successes = field "successes" Json.to_int in
+        let* half_width = field "half_width" Json.to_float in
+        let* target = field "target" Json.to_float in
+        let* stop = field "stop" Json.to_bool in
+        Ok (Stop_check { run; trials; successes; half_width; target; stop })
+    | "run_end" ->
+        let* run = field "run" Json.to_int in
+        let* executed = field "executed" Json.to_int in
+        let* successes = opt_field "successes" Json.to_int in
+        let* elapsed_ns = field "elapsed_ns" Json.to_int in
+        Ok (Run_end { run; executed; successes; elapsed_ns })
+    | other -> Error (Printf.sprintf "trace event: unknown kind %S" other)
+  in
+  Ok (ts_ns, event)
+
+let event_to_string ~ts_ns ev = Json.to_string (event_to_json ~ts_ns ev)
+
+let event_of_string line = Result.bind (Json.parse line) event_of_json
+
+(* ---------- sinks ---------- *)
+
+type sink = {
+  write : int -> event -> unit; (* called with the mutex held *)
+  flush : unit -> unit;
+  mutex : Mutex.t;
+  next_id : int Atomic.t;
+}
+
+let make write flush =
+  { write; flush; mutex = Mutex.create (); next_id = Atomic.make 1 }
+
+let to_channel oc =
+  make
+    (fun ts ev ->
+      output_string oc (event_to_string ~ts_ns:ts ev);
+      output_char oc '\n')
+    (fun () -> flush oc)
+
+let memory () =
+  let events = ref [] in
+  let sink = make (fun ts ev -> events := (ts, ev) :: !events) (fun () -> ()) in
+  (sink, fun () -> List.rev !events)
+
+let emit sink ev =
+  Mutex.lock sink.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.mutex)
+    (fun () -> sink.write (Clock.now_ns ()) ev)
+
+let fresh_id sink = Atomic.fetch_and_add sink.next_id 1
+
+let close sink =
+  Mutex.lock sink.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink.mutex) sink.flush
+
+let span sink name f =
+  match sink with
+  | None -> f ()
+  | Some sink ->
+      let id = fresh_id sink in
+      let sw = Timer.start () in
+      emit sink (Span_begin { span = id; name });
+      Fun.protect
+        ~finally:(fun () ->
+          emit sink
+            (Span_end { span = id; name; elapsed_ns = Timer.elapsed_ns sw }))
+        f

@@ -30,13 +30,15 @@ let make ~rows ~width =
   done;
   { graph = Digraph.Builder.freeze b; input; output; rows; width }
 
-let open_failure_prob ?jobs ?target_ci ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ?jobs ?target_ci ~trials ~rng ~graph:t.graph
+let open_failure_prob ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps t =
+  Monte_carlo.estimate_event ?jobs ?target_ci ?progress ?trace
+    ~label:"hammock.open_failure_prob" ~trials ~rng ~graph:t.graph
     ~eps_open:eps ~eps_close:eps (fun pattern ->
       not (Survivor.connected_ignoring_opens t.graph pattern ~a:t.input ~b:t.output))
 
-let short_failure_prob ?jobs ?target_ci ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ?jobs ?target_ci ~trials ~rng ~graph:t.graph
+let short_failure_prob ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps t =
+  Monte_carlo.estimate_event ?jobs ?target_ci ?progress ?trace
+    ~label:"hammock.short_failure_prob" ~trials ~rng ~graph:t.graph
     ~eps_open:eps ~eps_close:eps (fun pattern ->
       Survivor.shorted_by_closure t.graph pattern ~a:t.input ~b:t.output)
 

@@ -23,17 +23,22 @@ val make : rows:int -> width:int -> t
 val open_failure_prob :
   ?jobs:int ->
   ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   eps:float ->
   t ->
   Monte_carlo.estimate
 (** Monte-Carlo estimate of P[no input→output path survives] at
-    ε₁ = ε₂ = ε.  [jobs]/[target_ci] as in {!Monte_carlo.estimate}. *)
+    ε₁ = ε₂ = ε.  [jobs]/[target_ci]/[progress]/[trace] as in
+    {!Monte_carlo.estimate}. *)
 
 val short_failure_prob :
   ?jobs:int ->
   ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   eps:float ->

@@ -14,7 +14,7 @@ type counts = {
   normals : int array;
 }
 
-let importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches () =
+let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches () =
   let m = Digraph.edge_count graph in
   Array.iter
     (fun e ->
@@ -22,7 +22,7 @@ let importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches () =
     switches;
   let k = Array.length switches in
   let counts =
-    Trials.map_reduce ?jobs ~trials ~rng
+    Trials.map_reduce ?jobs ?trace ~label:"importance.birnbaum" ~trials ~rng
       ~init:(fun () -> Fault.all_normal m)
       ~create_acc:(fun () ->
         {
@@ -63,11 +63,11 @@ let importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches () =
       })
     switches
 
-let rank ?jobs ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
+let rank ?jobs ?trace ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
   let m = Digraph.edge_count graph in
   let switches = Rng.sample_without_replacement rng ~n:m ~k:(min sample m) in
   let estimates =
-    importance ?jobs ~trials ~rng ~graph ~eps ~event ~switches ()
+    importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches ()
   in
   Array.sort
     (fun a b ->

@@ -21,6 +21,7 @@ type estimate = {
 
 val importance :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->
@@ -36,6 +37,7 @@ val importance :
 
 val rank :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->

@@ -11,13 +11,13 @@ type estimate = Trials.estimate = {
 
 let of_counts = Trials.of_counts
 
-let estimate ?jobs ?target_ci ?progress ~trials ~rng f =
-  Trials.run ?jobs ?target_ci ?progress ~trials ~rng f
+let estimate ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng f =
+  Trials.run ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng f
 
-let estimate_event ?jobs ?target_ci ?progress ~trials ~rng ~graph ~eps_open
-    ~eps_close f =
+let estimate_event ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng
+    ~graph ~eps_open ~eps_close f =
   let m = Digraph.edge_count graph in
-  Trials.run_scratch ?jobs ?target_ci ?progress ~trials ~rng
+  Trials.run_scratch ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng
     ~init:(fun () -> Fault.all_normal m)
     (fun pattern sub ->
       Fault.sample_into sub ~eps_open ~eps_close pattern;

@@ -11,7 +11,9 @@
     sequential split-per-trial loop exactly.  [target_ci] enables adaptive
     stopping (run until the Wilson 95% half-width drops below it, capped
     at [trials]); [progress] reports cumulative counts and throughput
-    after each chunk. *)
+    after each chunk; [trace]/[label] stream the engine's structured
+    JSONL events (chunk timings, stopping decisions) to an
+    [Ftcsn_obs.Trace] sink without perturbing any estimate. *)
 
 type estimate = Ftcsn_sim.Trials.estimate = {
   successes : int;
@@ -27,6 +29,8 @@ val estimate :
   ?jobs:int ->
   ?target_ci:float ->
   ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   (Ftcsn_prng.Rng.t -> bool) ->
@@ -38,6 +42,8 @@ val estimate_event :
   ?jobs:int ->
   ?target_ci:float ->
   ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->

@@ -42,12 +42,13 @@ let size_factor g ~gadget =
     let substituted = substitute g ~gadget in
     float_of_int (Digraph.edge_count substituted.graph) /. float_of_int m
 
-let logical_rates ?jobs ~trials ~rng ~eps_open ~eps_close t =
+let logical_rates ?jobs ?trace ~trials ~rng ~eps_open ~eps_close t =
   let gg = t.gadget.Sp_network.graph in
   let gm = Digraph.edge_count gg in
   let gin = t.gadget.Sp_network.input and gout = t.gadget.Sp_network.output in
   let counts =
-    Ftcsn_sim.Trials.map_reduce ?jobs ~trials ~rng
+    Ftcsn_sim.Trials.map_reduce ?jobs ?trace
+      ~label:"substitution.logical_rates" ~trials ~rng
       ~init:(fun () -> Fault.all_normal gm)
       ~create_acc:(fun () -> [| 0; 0 |])
       ~trial:(fun slice acc sub ->

@@ -26,6 +26,7 @@ val size_factor : Ftcsn_graph.Digraph.t -> gadget:Sp_network.built -> float
 
 val logical_rates :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   eps_open:float ->

@@ -1,5 +1,17 @@
 module Digraph = Ftcsn_graph.Digraph
 module Union_find = Ftcsn_util.Union_find
+module Metrics = Ftcsn_obs.Metrics
+
+(* telemetry: survivor-graph operations are the inner loop of every
+   stochastic reliability estimate, so their call volumes are the first
+   thing to look at when a sweep is slow.  Atomic, write-only — safe from
+   worker domains and invisible to the PRNG, so determinism holds. *)
+let c_apply = Metrics.counter Metrics.default "survivor.apply"
+
+let c_shorted = Metrics.counter Metrics.default "survivor.shorted_by_closure"
+
+let c_connected =
+  Metrics.counter Metrics.default "survivor.connected_ignoring_opens"
 
 type t = {
   graph : Digraph.t;
@@ -20,6 +32,7 @@ let contraction_classes g pattern =
   Union_find.compress_labels uf
 
 let apply g pattern =
+  Ftcsn_obs.Counter.incr c_apply;
   if Array.length pattern <> Digraph.edge_count g then
     invalid_arg "Survivor.apply: pattern arity";
   let label, classes = contraction_classes g pattern in
@@ -64,6 +77,7 @@ let merged_pairs t terminals =
   List.rev !pairs
 
 let shorted_by_closure g pattern ~a ~b =
+  Ftcsn_obs.Counter.incr c_shorted;
   let uf = Union_find.create (Digraph.vertex_count g) in
   Array.iteri
     (fun e s ->
@@ -75,6 +89,7 @@ let shorted_by_closure g pattern ~a ~b =
   Union_find.equiv uf a b
 
 let connected_ignoring_opens g pattern ~a ~b =
+  Ftcsn_obs.Counter.incr c_connected;
   (* Conducting edges are those that still exist: normal or closed. *)
   let exists_edge e = not (Fault.state_equal pattern.(e) Fault.Open_failure) in
   let sub = Digraph.subgraph_by_edges g ~keep:exists_edge in

@@ -4,7 +4,14 @@
     failures contract their endpoints, open failures delete their edges,
     and the question of §3 is whether the {e normal-state} edges of the
     instance still contain the desired network.  This module computes that
-    instance as a quotient graph plus the vertex/edge correspondences. *)
+    instance as a quotient graph plus the vertex/edge correspondences.
+
+    Calls to {!apply}, {!shorted_by_closure} and
+    {!connected_ignoring_opens} — the inner loops of every stochastic
+    reliability estimate — are counted in the process-wide
+    [Ftcsn_obs.Metrics.default] registry (names [survivor.*]), which is
+    what [ftnet --metrics] reports.  The counters are atomic and
+    write-only, so instrumentation never perturbs results. *)
 
 type t = {
   graph : Ftcsn_graph.Digraph.t;

@@ -55,10 +55,11 @@ let superconcentrator_exhaustive ?(max_work = 200_000) net =
     match !violation with None -> `Holds | Some v -> `Violated v
   end
 
-let superconcentrator_sampled ?jobs ~trials ~rng net =
+let superconcentrator_sampled ?jobs ?trace ~trials ~rng net =
   let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
   let n = min n_in n_out in
-  Ftcsn_sim.Trials.search ?jobs ~trials ~rng (fun sub ->
+  Ftcsn_sim.Trials.search ?jobs ?trace ~label:"properties.sc_sampled"
+    ~trials ~rng (fun sub ->
       let r = 1 + Rng.int sub n in
       let s = Rng.sample_without_replacement sub ~n:n_in ~k:r in
       let t_set = Rng.sample_without_replacement sub ~n:n_out ~k:r in
@@ -88,9 +89,10 @@ let rearrangeable_exhaustive ?(budget = 500_000) net =
    with Exit -> ());
   !result
 
-let rearrangeable_sampled ?jobs ~trials ~rng ?(budget = 500_000) net =
+let rearrangeable_sampled ?jobs ?trace ~trials ~rng ?(budget = 500_000) net =
   let n = Network.n_inputs net in
-  Ftcsn_sim.Trials.search ?jobs ~trials ~rng (fun sub ->
+  Ftcsn_sim.Trials.search ?jobs ?trace ~label:"properties.rearr_sampled"
+    ~trials ~rng (fun sub ->
       let pi = Rng.permutation sub n in
       match Backtrack.route_all ~budget net (requests_of_perm net pi) with
       | Backtrack.Routed _ -> None

@@ -32,6 +32,7 @@ val superconcentrator_exhaustive :
 
 val superconcentrator_sampled :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   Ftcsn_networks.Network.t ->
@@ -48,6 +49,7 @@ val rearrangeable_exhaustive :
 
 val rearrangeable_sampled :
   ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   ?budget:int ->

@@ -1,5 +1,7 @@
 module Rng = Ftcsn_prng.Rng
 module Prob = Ftcsn_util.Prob
+module Trace = Ftcsn_obs.Trace
+module Clock = Ftcsn_obs.Clock
 
 type estimate = {
   successes : int;
@@ -83,11 +85,66 @@ let exec ~jobs ~chunk ~cap ~run_chunk ~consume =
   done;
   !executed
 
+(* ---------- tracing (strictly observational) ----------
+
+   When a sink is present, each chunk is timed on its executing domain
+   and the measurement rides back alongside the chunk's accumulator;
+   events are emitted on the scheduling domain, in consumption (index)
+   order.  Nothing here reads or writes a PRNG stream, so estimates are
+   bit-identical with tracing on or off, at every job count. *)
+
+type tracer = { sink : Trace.sink; run : int; t0 : int }
+
+let tracer_start trace ~label ~cap ~chunk ~jobs ~target_ci ~min_trials =
+  match trace with
+  | None -> None
+  | Some sink ->
+      let run = Trace.fresh_id sink in
+      Trace.emit sink
+        (Trace.Run_begin { run; label; cap; chunk; jobs; target_ci; min_trials });
+      Some { sink; run; t0 = Clock.now_ns () }
+
+(* wrap a chunk runner to report (acc, elapsed_ns, domain_id); the clock
+   is only read when tracing is active *)
+let timed_chunk tr run_chunk ~lo ~hi =
+  match tr with
+  | None -> (run_chunk ~lo ~hi, 0, 0)
+  | Some _ ->
+      let t0 = Clock.now_ns () in
+      let acc = run_chunk ~lo ~hi in
+      (acc, Clock.elapsed_ns ~since:t0, (Domain.self () :> int))
+
+let tracer_chunk tr ~lo ~hi ~domain ~elapsed_ns ~successes =
+  match tr with
+  | None -> ()
+  | Some { sink; run; _ } ->
+      Trace.emit sink
+        (Trace.Chunk { run; lo; hi; domain; elapsed_ns; successes })
+
+let tracer_stop_check tr ~trials ~successes ~half_width ~target ~stop =
+  match tr with
+  | None -> ()
+  | Some { sink; run; _ } ->
+      Trace.emit sink
+        (Trace.Stop_check { run; trials; successes; half_width; target; stop })
+
+let tracer_end tr ~executed ~successes =
+  match tr with
+  | None -> ()
+  | Some { sink; run; t0 } ->
+      Trace.emit sink
+        (Trace.Run_end
+           { run; executed; successes; elapsed_ns = Clock.elapsed_ns ~since:t0 })
+
 let run_scratch ?(jobs = 1) ?(chunk = default_chunk) ?target_ci
-    ?(min_trials = 1000) ?progress ~trials:cap ~rng ~init f =
+    ?(min_trials = 1000) ?progress ?trace ?(label = "trials.run") ~trials:cap
+    ~rng ~init f =
   let root = Rng.copy rng in
   let successes = ref 0 in
   let t0 = Unix.gettimeofday () in
+  let tr =
+    tracer_start trace ~label ~cap ~chunk ~jobs ~target_ci ~min_trials
+  in
   let run_chunk ~lo ~hi =
     let scratch = init () in
     let s = ref 0 in
@@ -96,8 +153,9 @@ let run_scratch ?(jobs = 1) ?(chunk = default_chunk) ?target_ci
     done;
     !s
   in
-  let consume s ~lo:_ ~hi =
+  let consume (s, elapsed_ns, domain) ~lo ~hi =
     successes := !successes + s;
+    tracer_chunk tr ~lo ~hi ~domain ~elapsed_ns ~successes:(Some s);
     (match progress with
     | None -> ()
     | Some cb ->
@@ -114,22 +172,35 @@ let run_scratch ?(jobs = 1) ?(chunk = default_chunk) ?target_ci
     match target_ci with
     | Some target when hi >= min_trials ->
         let est = of_counts ~successes:!successes ~trials:hi in
-        if half_width est <= target then `Stop else `Continue
+        let hw = half_width est in
+        let stop = hw <= target in
+        tracer_stop_check tr ~trials:hi ~successes:!successes ~half_width:hw
+          ~target ~stop;
+        if stop then `Stop else `Continue
     | _ -> `Continue
   in
-  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  let executed =
+    exec ~jobs ~chunk ~cap ~run_chunk:(timed_chunk tr run_chunk) ~consume
+  in
+  tracer_end tr ~executed ~successes:(Some !successes);
   Rng.advance rng executed;
   of_counts ~successes:!successes ~trials:executed
 
-let run ?jobs ?chunk ?target_ci ?min_trials ?progress ~trials ~rng f =
-  run_scratch ?jobs ?chunk ?target_ci ?min_trials ?progress ~trials ~rng
+let run ?jobs ?chunk ?target_ci ?min_trials ?progress ?trace ?label ~trials
+    ~rng f =
+  run_scratch ?jobs ?chunk ?target_ci ?min_trials ?progress ?trace ?label
+    ~trials ~rng
     ~init:(fun () -> ())
     (fun () sub -> f sub)
 
-let map_reduce ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng ~init
-    ~create_acc ~trial ~combine () =
+let map_reduce ?(jobs = 1) ?(chunk = default_chunk) ?trace
+    ?(label = "trials.map_reduce") ~trials:cap ~rng ~init ~create_acc ~trial
+    ~combine () =
   let root = Rng.copy rng in
   let global = create_acc () in
+  let tr =
+    tracer_start trace ~label ~cap ~chunk ~jobs ~target_ci:None ~min_trials:0
+  in
   let run_chunk ~lo ~hi =
     let scratch = init () in
     let acc = create_acc () in
@@ -138,17 +209,25 @@ let map_reduce ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng ~init
     done;
     acc
   in
-  let consume acc ~lo:_ ~hi:_ =
+  let consume (acc, elapsed_ns, domain) ~lo ~hi =
+    tracer_chunk tr ~lo ~hi ~domain ~elapsed_ns ~successes:None;
     combine global acc;
     `Continue
   in
-  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  let executed =
+    exec ~jobs ~chunk ~cap ~run_chunk:(timed_chunk tr run_chunk) ~consume
+  in
+  tracer_end tr ~executed ~successes:None;
   Rng.advance rng executed;
   global
 
-let search ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng f =
+let search ?(jobs = 1) ?(chunk = default_chunk) ?trace
+    ?(label = "trials.search") ~trials:cap ~rng f =
   let root = Rng.copy rng in
   let found = ref None in
+  let tr =
+    tracer_start trace ~label ~cap ~chunk ~jobs ~target_ci:None ~min_trials:0
+  in
   let run_chunk ~lo ~hi =
     let rec go i =
       if i >= hi then None
@@ -159,13 +238,17 @@ let search ?(jobs = 1) ?(chunk = default_chunk) ~trials:cap ~rng f =
     in
     go lo
   in
-  let consume acc ~lo:_ ~hi:_ =
+  let consume (acc, elapsed_ns, domain) ~lo ~hi =
+    tracer_chunk tr ~lo ~hi ~domain ~elapsed_ns ~successes:None;
     match acc with
     | Some _ ->
         found := acc;
         `Stop
     | None -> `Continue
   in
-  let executed = exec ~jobs ~chunk ~cap ~run_chunk ~consume in
+  let executed =
+    exec ~jobs ~chunk ~cap ~run_chunk:(timed_chunk tr run_chunk) ~consume
+  in
+  tracer_end tr ~executed ~successes:None;
   Rng.advance rng executed;
   !found

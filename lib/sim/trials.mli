@@ -28,14 +28,31 @@
     map-reduce; no dependencies).  Trial functions must therefore be safe
     to run concurrently: they may freely read shared immutable data (the
     network under test) but must keep all mutable state in the per-chunk
-    [scratch] created by [init], which is never shared between domains. *)
+    [scratch] created by [init], which is never shared between domains.
+
+    {2 Observability}
+
+    Every entry point accepts an optional [trace] sink
+    ([Ftcsn_obs.Trace.sink]).  When present, the engine emits a
+    [Run_begin] event, one [Chunk] event per consumed work unit (worker
+    domain id, wall-clock cost, and the chunk's trial-index range — which
+    is also its RNG substream-id range), a [Stop_check] event for every
+    adaptive-stopping evaluation with its Wilson half-width, and a
+    [Run_end] event.  Tracing is strictly observational: chunks are timed
+    on their executing domain but all events are emitted on the
+    scheduling domain in index order, no event touches a PRNG stream, and
+    the per-trial hot path is untouched (the clock is read at chunk
+    granularity only).  Estimates are therefore bit-identical with
+    tracing on or off, at every [jobs] — the test suite pins this.
+    [label] names the run in its [Run_begin] event; defaults identify the
+    entry point ([trials.run], [trials.map_reduce], [trials.search]). *)
 
 type estimate = {
-  successes : int;
-  trials : int;
-  mean : float;
-  ci_low : float;
-  ci_high : float;
+  successes : int;  (** trials for which the Bernoulli event held *)
+  trials : int;  (** trials actually executed (≤ the requested cap) *)
+  mean : float;  (** point estimate [successes / trials] *)
+  ci_low : float;  (** Wilson 95% interval, lower end *)
+  ci_high : float;  (** Wilson 95% interval, upper end *)
 }
 
 val of_counts : successes:int -> trials:int -> estimate
@@ -45,14 +62,15 @@ val half_width : estimate -> float
 (** Half the Wilson interval width — the quantity [target_ci] bounds. *)
 
 val pp : Format.formatter -> estimate -> unit
+(** Render as ["mean [lo, hi] (successes/trials)"]. *)
 
 type progress = {
   completed : int;  (** trials finished so far *)
   cap : int;  (** the trial cap for this run *)
-  successes : int;
+  successes : int;  (** successes among the completed trials *)
   elapsed : float;  (** seconds since the run started *)
   rate : float;  (** throughput in trials per second *)
-  jobs : int;
+  jobs : int;  (** worker domains in use *)
 }
 
 val default_chunk : int
@@ -69,6 +87,8 @@ val run :
   ?target_ci:float ->
   ?min_trials:int ->
   ?progress:(progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   (Ftcsn_prng.Rng.t -> bool) ->
@@ -82,7 +102,9 @@ val run :
       (after [min_trials], default 1000) where the Wilson 95% half-width
       drops to [target_ci] or below; [trials] remains a hard cap.
     - [progress]: called on the scheduling domain after every consumed
-      chunk with cumulative counts and throughput. *)
+      chunk with cumulative counts and throughput.
+    - [trace]/[label]: structured JSONL events, see {i Observability}
+      above. *)
 
 val run_scratch :
   ?jobs:int ->
@@ -90,6 +112,8 @@ val run_scratch :
   ?target_ci:float ->
   ?min_trials:int ->
   ?progress:(progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   init:(unit -> 'scratch) ->
@@ -104,6 +128,8 @@ val run_scratch :
 val map_reduce :
   ?jobs:int ->
   ?chunk:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   init:(unit -> 'scratch) ->
@@ -117,11 +143,15 @@ val map_reduce :
     its trials into a fresh accumulator from [create_acc]; chunk
     accumulators are [combine]d into the first accumulator (the return
     value) strictly in index order, so any combine — even a non-
-    commutative one — yields the same result at every [jobs]. *)
+    commutative one — yields the same result at every [jobs].  Traced
+    [Chunk] events carry no success counts (the accumulator is opaque
+    to the engine). *)
 
 val search :
   ?jobs:int ->
   ?chunk:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
   trials:int ->
   rng:Ftcsn_prng.Rng.t ->
   (Ftcsn_prng.Rng.t -> 'witness option) ->

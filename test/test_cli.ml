@@ -112,6 +112,157 @@ let test_unknown_family_fails () =
   let code, _ = run "build --family nosuch -n 4" in
   Alcotest.(check bool) "nonzero exit" true (code <> 0)
 
+(* ---------- observability flags ---------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let read_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let with_tmp suffix f =
+  let path = Filename.temp_file "ftnet_test" suffix in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_trace_jsonl () =
+  with_tmp ".jsonl" @@ fun trace ->
+  let code, _ =
+    run
+      (Printf.sprintf
+         "faults --family benes -n 8 --trials 1500 --target-ci 0.5 --seed 3 \
+          --trace %s"
+         trace)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  let lines = read_lines trace in
+  Alcotest.(check bool) "trace non-empty" true (List.length lines > 0);
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      match Ftcsn_obs.Trace.event_of_string line with
+      | Error e -> Alcotest.failf "invalid trace line (%s): %s" e line
+      | Ok (_, ev) ->
+          let kind =
+            match ev with
+            | Ftcsn_obs.Trace.Span_begin _ -> "span_begin"
+            | Ftcsn_obs.Trace.Span_end _ -> "span_end"
+            | Ftcsn_obs.Trace.Run_begin _ -> "run_begin"
+            | Ftcsn_obs.Trace.Chunk _ -> "chunk"
+            | Ftcsn_obs.Trace.Stop_check _ -> "stop_check"
+            | Ftcsn_obs.Trace.Run_end _ -> "run_end"
+          in
+          Hashtbl.replace kinds kind ())
+    lines;
+  List.iter
+    (fun kind ->
+      if not (Hashtbl.mem kinds kind) then
+        Alcotest.failf "trace is missing a %s event" kind)
+    [ "span_begin"; "span_end"; "run_begin"; "chunk"; "stop_check"; "run_end" ]
+
+let test_metrics_report () =
+  with_tmp ".json" @@ fun metrics ->
+  let code, _ =
+    run
+      (Printf.sprintf
+         "survive --family benes -n 8 --trials 50 --seed 5 --metrics %s" metrics)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  match Ftcsn_obs.Json.parse (read_file metrics) with
+  | Error e -> Alcotest.failf "metrics file is not valid JSON: %s" e
+  | Ok j ->
+      let member path =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Ftcsn_obs.Json.member k))
+          (Some j) path
+      in
+      Alcotest.(check bool) "has phase.estimate timer" true
+        (member [ "timers"; "phase.estimate" ] <> None);
+      Alcotest.(check (option int))
+        "trials counter matches the run" (Some 50)
+        (Option.bind (member [ "counters"; "trials.executed" ])
+           Ftcsn_obs.Json.to_int);
+      Alcotest.(check bool) "survivor ops counted" true
+        (match
+           Option.bind (member [ "counters"; "survivor.apply" ])
+             Ftcsn_obs.Json.to_int
+         with
+        | Some n -> n >= 50
+        | None -> false)
+
+(* estimates must be bit-identical with tracing on or off, at every job
+   count; the throughput line varies run to run, so compare only the
+   estimate line *)
+let estimate_line args =
+  let code, out = run args in
+  Alcotest.(check int) ("exit of " ^ args) 0 code;
+  match
+    List.find_opt
+      (fun l -> String.length l > 1 && l.[0] = 'P' && l.[1] = '[')
+      (String.split_on_char '\n' out)
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no estimate line in output of %s:\n%s" args out
+
+let test_cli_determinism () =
+  let base = "survive --family benes -n 8 --trials 200 --seed 7" in
+  let reference = estimate_line (base ^ " --jobs 1") in
+  with_tmp ".jsonl" @@ fun trace ->
+  List.iter
+    (fun args ->
+      Alcotest.(check string) ("estimate of " ^ args) reference
+        (estimate_line args))
+    [
+      base ^ " --jobs 1 --trace " ^ trace;
+      base ^ " --jobs 4";
+      base ^ " --jobs 4 --trace " ^ trace;
+    ]
+
+(* ---------- error normalization: message format and exit code 2 ---------- *)
+
+let check_usage_error name args fragment =
+  let code, out = run args in
+  Alcotest.(check int) (name ^ " exit code") 2 code;
+  check_contains name out "ftnet: error:";
+  check_contains name out fragment
+
+let test_error_trials_zero () =
+  check_usage_error "trials 0" "faults --family benes -n 8 --trials 0"
+    "invalid --trials value 0"
+
+let test_error_trials_negative () =
+  (* =-3 so cmdliner parses the negative number as the option's value *)
+  check_usage_error "trials -3" "survive --family benes -n 8 --trials=-3"
+    "invalid --trials value -3"
+
+let test_error_jobs_zero () =
+  check_usage_error "jobs 0" "survive --family benes -n 8 --jobs 0"
+    "invalid --jobs value 0"
+
+let test_error_target_ci_malformed () =
+  check_usage_error "target-ci abc"
+    "survive --family benes -n 8 --target-ci abc" "invalid --target-ci value"
+
+let test_error_target_ci_range () =
+  check_usage_error "target-ci 1.5"
+    "survive --family benes -n 8 --target-ci 1.5" "invalid --target-ci value";
+  check_usage_error "target-ci 0"
+    "survive --family benes -n 8 --target-ci 0" "invalid --target-ci value"
+
+let test_error_unwritable_metrics () =
+  check_usage_error "unwritable metrics"
+    "survive --family benes -n 8 --trials 10 --metrics /nonexistent/m.json"
+    "cannot open --metrics"
+
+let test_error_unwritable_trace () =
+  check_usage_error "unwritable trace"
+    "faults --family benes -n 8 --trace /nonexistent/t.jsonl"
+    "cannot open --trace"
+
 let test_help () =
   let code, out = run "--help=plain" in
   Alcotest.(check int) "exit code" 0 code;
@@ -144,5 +295,27 @@ let () =
           Alcotest.test_case "render dot" `Quick test_render_dot;
           Alcotest.test_case "unknown family" `Quick test_unknown_family_fails;
           Alcotest.test_case "help" `Quick test_help;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace JSONL is valid and complete" `Slow
+            test_trace_jsonl;
+          Alcotest.test_case "metrics report" `Quick test_metrics_report;
+          Alcotest.test_case "bit-identical across trace/jobs" `Slow
+            test_cli_determinism;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "trials 0" `Quick test_error_trials_zero;
+          Alcotest.test_case "trials negative" `Quick test_error_trials_negative;
+          Alcotest.test_case "jobs 0" `Quick test_error_jobs_zero;
+          Alcotest.test_case "target-ci malformed" `Quick
+            test_error_target_ci_malformed;
+          Alcotest.test_case "target-ci out of range" `Quick
+            test_error_target_ci_range;
+          Alcotest.test_case "unwritable metrics path" `Quick
+            test_error_unwritable_metrics;
+          Alcotest.test_case "unwritable trace path" `Quick
+            test_error_unwritable_trace;
         ] );
     ]
