@@ -5,12 +5,17 @@
      dune exec bench/main.exe -- e7 f5        # selected experiments
      dune exec bench/main.exe -- --quick      # reduced trial counts
      dune exec bench/main.exe -- --jobs 4     # Monte-Carlo worker domains
-     dune exec bench/main.exe -- --no-timings # tables only *)
+     dune exec bench/main.exe -- --no-timings # tables only
+     dune exec bench/main.exe -- --smoke      # engine sweep only, reduced
+                                              # trials; CI smoke check *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_timings = List.mem "--no-timings" args in
+  if List.mem "--smoke" args then (
+    Timings.run_engine ~quick:true ();
+    exit 0);
   (* strip "--jobs N" out of the positional arguments *)
   let jobs = ref 1 in
   let rec positionals = function

@@ -128,6 +128,13 @@ type engine_sample = {
       (** wall time not explained by parallel chunk execution:
           [seconds - worker_seconds / jobs], i.e. domain spawn/join,
           scheduling and result merging *)
+  minor_words_per_trial : float;
+      (** minor-heap words allocated per trial on the scheduling domain.
+          At [jobs=1] every chunk runs on the calling domain, so this is
+          the exact per-trial allocation; at [jobs>1] it only covers the
+          chunks the scheduler ran itself plus dispatch costs. *)
+  promoted_words_per_trial : float;
+      (** words promoted minor→major per trial, same caveat as above *)
 }
 
 (* Each sweep runs with an in-memory trace sink attached; the engine's
@@ -135,9 +142,13 @@ type engine_sample = {
    inside any trial. *)
 let timed ~bench ~jobs ~trials f =
   let sink, drain = Ftcsn_obs.Trace.memory () in
+  let mw0 = Gc.minor_words () in
+  let pw0 = (Gc.quick_stat ()).Gc.promoted_words in
   let t0 = Unix.gettimeofday () in
   f ~jobs ~trials ~trace:sink;
   let seconds = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. mw0 in
+  let promoted_words = (Gc.quick_stat ()).Gc.promoted_words -. pw0 in
   Ftcsn_obs.Trace.close sink;
   let chunks = ref 0 in
   let busy_ns = ref 0 in
@@ -162,9 +173,11 @@ let timed ~bench ~jobs ~trials f =
     chunks = !chunks;
     worker_seconds;
     overhead_seconds;
+    minor_words_per_trial = minor_words /. float_of_int trials;
+    promoted_words_per_trial = promoted_words /. float_of_int trials;
   }
 
-let engine_samples ~jobs_list () =
+let engine_samples ?(quick = false) ~jobs_list () =
   let h = Ftcsn_reliability.Hammock.make ~rows:8 ~width:8 in
   let hammock_sweep ~jobs ~trials ~trace =
     let rng = Rng.create ~seed:42 in
@@ -179,11 +192,15 @@ let engine_samples ~jobs_list () =
       (Ftcsn.Pipeline.survival ~jobs ~trace ~trials ~rng ~eps:0.03
          ~probe:Ftcsn.Pipeline.sc_probe_only benes)
   in
+  let hammock_trials = if quick then 6_000 else 60_000 in
+  let survival_trials = if quick then 200 else 2_000 in
   List.concat_map
     (fun jobs ->
       [
-        timed ~bench:"hammock-open-prob-8x8" ~jobs ~trials:60_000 hammock_sweep;
-        timed ~bench:"survival-benes-16" ~jobs ~trials:2_000 survival_sweep;
+        timed ~bench:"hammock-open-prob-8x8" ~jobs ~trials:hammock_trials
+          hammock_sweep;
+        timed ~bench:"survival-benes-16" ~jobs ~trials:survival_trials
+          survival_sweep;
       ])
     jobs_list
 
@@ -200,6 +217,8 @@ let write_json path samples =
         ("chunks", Int s.chunks);
         ("worker_seconds", Float s.worker_seconds);
         ("overhead_seconds", Float s.overhead_seconds);
+        ("minor_words_per_trial", Float s.minor_words_per_trial);
+        ("promoted_words_per_trial", Float s.promoted_words_per_trial);
       ]
   in
   let doc =
@@ -214,16 +233,18 @@ let write_json path samples =
   output_char oc '\n';
   close_out oc
 
-let run_engine ?(json_path = "BENCH_timings.json") () =
+let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
   print_endline "== engine throughput (Ftcsn_sim.Trials, wall clock) ==";
-  let samples = engine_samples ~jobs_list:[ 1; 2; 4 ] () in
+  let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let samples = engine_samples ~quick ~jobs_list () in
   List.iter
     (fun s ->
       Printf.printf
         "%-28s jobs=%d %8d trials  %6.2fs  %10.0f trials/s  (%d chunks, \
-         %.2fs busy, %.2fs overhead)\n"
+         %.2fs busy, %.2fs overhead, %.1f minor w/trial, %.1f promoted \
+         w/trial)\n"
         s.bench s.jobs s.trials s.seconds s.rate s.chunks s.worker_seconds
-        s.overhead_seconds)
+        s.overhead_seconds s.minor_words_per_trial s.promoted_words_per_trial)
     samples;
   (* speedup of the hammock sweep vs jobs=1, the headline number *)
   (match

@@ -48,6 +48,20 @@ let check_pos flag v =
   if v < 1 then die "invalid %s value %d: must be an integer >= 1" flag v
   else v
 
+(* Oversubscribing domains beyond the core count only adds scheduling
+   overhead; warn (don't clamp) so deterministic runs pinned to an
+   explicit --jobs keep their exact chunk layout. *)
+let check_jobs v =
+  let v = check_pos "--jobs" v in
+  let cores = Domain.recommended_domain_count () in
+  if v > cores then
+    Printf.eprintf
+      "ftnet: warning: --jobs %d exceeds the %d available core%s; extra \
+       domains only add overhead\n%!"
+      v cores
+      (if cores = 1 then "" else "s");
+  v
+
 let parse_target_ci = function
   | None -> None
   | Some s -> (
@@ -170,10 +184,14 @@ let n_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for Monte-Carlo trials.  Results are bit-identical at \
-     every J; only wall-clock time changes."
+    "Worker domains for Monte-Carlo trials (default: the machine's \
+     recommended domain count).  Results are bit-identical at every J; \
+     only wall-clock time changes."
   in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"J" ~doc)
 
 let target_ci_arg =
   let doc =
@@ -280,7 +298,7 @@ let build_cmd =
 let faults_cmd =
   let run family n seed eps radius trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -307,16 +325,20 @@ let faults_cmd =
       | is -> String.concat ", " (List.map string_of_int is));
     if trials > 1 then begin
       (* survey mode: estimate how often a fresh pattern leaves a clean
-         survivor (no shorted terminals, no isolated inputs) *)
+         survivor (no shorted terminals, no isolated inputs); runs on the
+         Fault_strip workspace, so trials allocate nothing but the
+         isolated-input lists *)
       let est =
         phase obs "estimate" (fun () ->
-            Monte_carlo.estimate_event ~jobs ?target_ci
-              ?progress:obs.progress ?trace:obs.trace ~label:"faults.survey"
-              ~trials ~rng ~graph:net.Network.graph ~eps_open:eps
-              ~eps_close:eps (fun pattern ->
-                let strip = Ftcsn.Fault_strip.strip ~radius net pattern in
-                Ftcsn.Fault_strip.healthy strip
-                && Ftcsn.Fault_strip.isolated_inputs net strip = []))
+            Trials.run_scratch ~jobs ?target_ci ?progress:obs.progress
+              ?trace:obs.trace ~label:"faults.survey" ~trials ~rng
+              ~init:(fun () -> Ftcsn.Fault_strip.create_ws net)
+              (fun ws sub ->
+                let pattern = Ftcsn.Fault_strip.ws_pattern ws in
+                Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern;
+                Ftcsn.Fault_strip.strip_into ~radius ws pattern;
+                Ftcsn.Fault_strip.ws_healthy ws
+                && Ftcsn.Fault_strip.ws_isolated_inputs ws = []))
       in
       note_estimate obs "faults.clean" est;
       Format.printf "P[survivor clean] = %a  (%d trials, jobs=%d)@."
@@ -344,7 +366,7 @@ let faults_cmd =
 let route_cmd =
   let run family n seed eps verbose trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -380,25 +402,31 @@ let route_cmd =
     end
     else begin
       (* survey mode: each trial draws its own fault pattern and its own
-         permutation; success = every request routed greedily *)
+         permutation; success = every request routed greedily.  One
+         Fault_strip workspace and one masked router per worker: trials
+         re-strip in place and route over the original graph, instead of
+         rebuilding a surviving subgraph and a fresh router every time. *)
       let est =
         phase obs "estimate" (fun () ->
-            Monte_carlo.estimate ~jobs ?target_ci ?progress:obs.progress
-              ?trace:obs.trace ~label:"route.survey" ~trials ~rng (fun sub ->
-                let allowed, routing_net =
-                  if eps > 0.0 then begin
-                    let pattern =
-                      Fault.sample sub ~eps_open:eps ~eps_close:eps
-                        ~m:(Network.size net)
-                    in
-                    let strip = Ftcsn.Fault_strip.strip net pattern in
-                    ( strip.Ftcsn.Fault_strip.allowed,
-                      Ftcsn.Fault_strip.surviving_network net strip )
-                  end
-                  else ((fun _ -> true), net)
+            Trials.run_scratch ~jobs ?target_ci ?progress:obs.progress
+              ?trace:obs.trace ~label:"route.survey" ~trials ~rng
+              ~init:(fun () ->
+                let fs = Ftcsn.Fault_strip.create_ws net in
+                let router =
+                  Ftcsn_routing.Greedy.create
+                    ~allowed:(Ftcsn.Fault_strip.ws_allowed fs)
+                    ~edge_ok:(Ftcsn.Fault_strip.ws_edge_ok fs)
+                    net
                 in
+                (fs, router))
+              (fun (fs, router) sub ->
+                let pattern = Ftcsn.Fault_strip.ws_pattern fs in
+                if eps > 0.0 then
+                  Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern
+                else Array.fill pattern 0 (Array.length pattern) Fault.Normal;
+                Ftcsn.Fault_strip.strip_into fs pattern;
                 let pi = Rng.permutation sub n' in
-                let router = Ftcsn_routing.Greedy.create ~allowed routing_net in
+                Ftcsn_routing.Greedy.clear router;
                 let success = ref 0 in
                 ignore
                   (Ftcsn_routing.Greedy.route_permutation router pi ~success);
@@ -430,7 +458,7 @@ let route_cmd =
 let check_cmd =
   let run family n seed trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -524,7 +552,7 @@ let check_cmd =
 let survive_cmd =
   let run family n seed eps trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -563,7 +591,7 @@ let survive_cmd =
 let degrade_cmd =
   let run family n seed hazard ticks trials jobs obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let ticks = check_pos "--ticks" ticks in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -620,22 +648,25 @@ let degrade_cmd =
 let critical_cmd =
   let run family n seed eps sample trials jobs obsargs =
     let trials = check_pos "--trials" trials in
-    let jobs = check_pos "--jobs" jobs in
+    let jobs = check_jobs jobs in
     let sample = check_pos "--sample" sample in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.critical seed in
     let g = net.Network.graph in
-    (* event: the stripped survivor fails the class-fair probes *)
-    let event pattern =
-      let strip = Ftcsn.Fault_strip.strip net pattern in
-      (not (Ftcsn.Fault_strip.healthy strip))
-      || Ftcsn.Fault_strip.isolated_inputs net strip <> []
+    (* event: the stripped survivor fails the class-fair probes; runs on
+       a per-worker Fault_strip workspace so the 3·sample evaluations per
+       trial stay allocation-free *)
+    let init () = Ftcsn.Fault_strip.create_ws net in
+    let event ws pattern =
+      Ftcsn.Fault_strip.strip_into ws pattern;
+      (not (Ftcsn.Fault_strip.ws_healthy ws))
+      || Ftcsn.Fault_strip.ws_isolated_inputs ws <> []
     in
     let ranked =
       phase obs "estimate" (fun () ->
           Ftcsn_reliability.Importance.rank ~jobs ?trace:obs.trace ~trials
-            ~rng ~graph:g ~eps ~event ~sample ())
+            ~rng ~graph:g ~eps ~init ~event ~sample ())
     in
     Format.printf "%a@." Network.pp net;
     Format.printf "most critical sampled switches (Birnbaum, %d trials):@."

@@ -40,3 +40,57 @@ val isolated_inputs : Ftcsn_networks.Network.t -> t -> int list
 (** Input indices with no remaining path to any output through allowed
     vertices and normal switches — the open-failure disconnection event of
     Lemma 3. *)
+
+(** {2 Workspace path}
+
+    Allocation-free equivalents for Monte-Carlo inner loops.  A [ws]
+    bundles everything a stripping trial mutates — the fault bitsets, a
+    {!Ftcsn_reliability.Scratch.t} (union-find, BFS arrays, fault-pattern
+    buffer) and the precomputed reverse graph — so one workspace per
+    worker domain serves any number of trials.  Consumers route over the
+    original graph with {!ws_edge_ok} masking failed switches instead of
+    rebuilding a survivor subgraph; results are bit-identical to the
+    allocating path (pinned by the qcheck suite).  Workspaces are
+    single-domain state. *)
+
+type ws
+
+val create_ws : Ftcsn_networks.Network.t -> ws
+
+val ws_net : ws -> Ftcsn_networks.Network.t
+
+val ws_scratch : ws -> Ftcsn_reliability.Scratch.t
+
+val ws_pattern : ws -> Ftcsn_reliability.Fault.pattern
+(** The workspace's own pattern buffer (refill with
+    {!Ftcsn_reliability.Fault.sample_into}, then pass to
+    {!strip_into}). *)
+
+val strip_into : ?radius:int -> ws -> Ftcsn_reliability.Fault.pattern -> unit
+(** {!strip} into the workspace: recomputes the faulty/stripped sets, the
+    contraction classes and the shorted-terminal list for [pattern]
+    (usually {!ws_pattern}, but any pattern of the right arity works —
+    criticality scans pass perturbed copies).  Masks and queries below
+    refer to the most recent [strip_into]. *)
+
+val ws_allowed : ws -> int -> bool
+(** Vertex mask of the current strip — terminals plus unstripped
+    internal vertices (same closure across trials; reads workspace
+    state). *)
+
+val ws_edge_ok : ws -> int -> bool
+(** Edge mask of the current strip: true on normal-state switches. *)
+
+val ws_rev : ws -> Ftcsn_graph.Digraph.t
+(** Reverse of the full network graph (precomputed; edge ids preserved,
+    so {!ws_edge_ok} applies to it unchanged). *)
+
+val ws_shorted_terminals : ws -> (int * int) list
+
+val ws_healthy : ws -> bool
+
+val ws_stripped : ws -> Ftcsn_util.Bitset.t
+
+val ws_isolated_inputs : ws -> int list
+(** {!isolated_inputs} for the current strip, via a masked BFS over
+    {!ws_rev} (allocates only the returned list). *)

@@ -37,7 +37,7 @@ val grid_last_column_access :
 (** Lemma 3's quantity: from row [source_row] of column 0, the number of
     last-column vertices reachable through non-faulty grid vertices. *)
 
-val middle_stage : Ftcsn_networks.Network.t -> int array
+val middle_stage : ?edge_ok:(int -> bool) -> Ftcsn_networks.Network.t -> int array
 (** The vertices of the central stage (longest-path staging from the
     inputs) — the wide waist over which §6's majority-access argument
     runs: an idle input reaching a strict majority of the waist and an
@@ -49,6 +49,8 @@ val sampled_busy_majority :
   rng:Ftcsn_prng.Rng.t ->
   ?load:float ->
   allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  ?rev:Ftcsn_graph.Digraph.t ->
   Ftcsn_networks.Network.t ->
   bool
 (** Lemma 6's property is universally quantified over established path
@@ -58,4 +60,7 @@ val sampled_busy_majority :
     access to a strict majority of the {!middle_stage} waist and every
     idle output to keep backward access to a strict majority — the §6
     certificate for nonblocking containment.  [false] is a definite
-    counterexample configuration; [true] is statistical evidence. *)
+    counterexample configuration; [true] is statistical evidence.
+    [edge_ok] masks failed switches without rebuilding the graph, and
+    [rev] supplies a precomputed {!Ftcsn_graph.Digraph.reverse} of the
+    network graph (edge ids preserved, so the same mask applies). *)

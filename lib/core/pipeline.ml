@@ -121,11 +121,109 @@ let trial ~rng ~eps ?(strip_radius = 0) ?(probe = default_probe) net =
         if failures = 0 then Survived else Unroutable failures
   end
 
+(* ---------- workspace path ----------
+
+   [trial_ws] is [trial] with every per-trial structure hoisted into a
+   workspace: the strip state, a greedy router with its BFS scratch, and
+   a prebuilt Menger flow arena.  Probes run over the ORIGINAL graph with
+   the strip's vertex/edge masks, never over a rebuilt survivor subgraph.
+   PRNG draws are issued in exactly the order of the legacy path, and
+   every probe decision is order-for-order identical (CSR adjacency
+   preserves edge-id order under subgraphing, BFS distances and max-flow
+   values are tie-break independent), so verdicts — and therefore
+   estimates — are bit-identical.  The qcheck suite pins this. *)
+
+type ws = {
+  ws_net : Network.t;
+  fs : Fault_strip.ws;
+  greedy : Greedy.t;
+  flow : Flow_route.ws;
+  forbidden : int -> bool;
+}
+
+let create_ws net =
+  let fs = Fault_strip.create_ws net in
+  let allowed = Fault_strip.ws_allowed fs in
+  let edge_ok = Fault_strip.ws_edge_ok fs in
+  {
+    ws_net = net;
+    fs;
+    greedy = Greedy.create ~allowed ~edge_ok net;
+    flow = Flow_route.create_ws net;
+    forbidden = (fun v -> not (allowed v));
+  }
+
+let ws_fault_strip ws = ws.fs
+
+let route_probe_ws ws ~rng ~probe =
+  let net = ws.ws_net in
+  let allowed = Fault_strip.ws_allowed ws.fs in
+  let edge_ok = Fault_strip.ws_edge_ok ws.fs in
+  let n = min (Network.n_inputs net) (Network.n_outputs net) in
+  let failures = ref 0 in
+  for _ = 1 to probe.greedy_permutations do
+    let pi = Rng.permutation rng n in
+    Greedy.clear ws.greedy;
+    let success = ref 0 in
+    let _paths = Greedy.route_permutation ws.greedy pi ~success in
+    failures := !failures + (n - !success)
+  done;
+  for _ = 1 to probe.exact_permutations do
+    let pi = Rng.permutation rng n in
+    let requests =
+      Array.to_list
+        (Array.mapi
+           (fun i o -> (net.Network.inputs.(i), net.Network.outputs.(o)))
+           pi)
+    in
+    match
+      Ftcsn_routing.Backtrack.route_all ~budget:probe.exact_budget ~allowed
+        ~edge_ok net requests
+    with
+    | Ftcsn_routing.Backtrack.Routed _ -> ()
+    | Ftcsn_routing.Backtrack.Unroutable
+    | Ftcsn_routing.Backtrack.Budget_exceeded ->
+        incr failures
+  done;
+  for _ = 1 to probe.sc_probes do
+    let r = 1 + Rng.int rng n in
+    let s = Rng.sample_without_replacement rng ~n ~k:r in
+    let t = Rng.sample_without_replacement rng ~n ~k:r in
+    let achieved =
+      Flow_route.max_throughput_ws ~forbidden:ws.forbidden ~edge_ok ws.flow
+        ~input_indices:s ~output_indices:t
+    in
+    if achieved < r then failures := !failures + (r - achieved)
+  done;
+  if probe.majority_probes > 0 then begin
+    if
+      not
+        (Majority_access.sampled_busy_majority ~trials:probe.majority_probes
+           ~rng ~allowed ~edge_ok ~rev:(Fault_strip.ws_rev ws.fs) net)
+    then incr failures
+  end;
+  !failures
+
+let trial_ws ?(strip_radius = 0) ?(probe = default_probe) ws ~rng ~eps =
+  let pattern = Fault_strip.ws_pattern ws.fs in
+  Fault.sample_into rng ~eps_open:eps ~eps_close:eps pattern;
+  Fault_strip.strip_into ~radius:strip_radius ws.fs pattern;
+  match Fault_strip.ws_shorted_terminals ws.fs with
+  | _ :: _ as shorted -> Shorted shorted
+  | [] -> (
+      match Fault_strip.ws_isolated_inputs ws.fs with
+      | _ :: _ as isolated -> Isolated isolated
+      | [] ->
+          let failures = route_probe_ws ws ~rng ~probe in
+          if failures = 0 then Survived else Unroutable failures)
+
 let survival ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps ?strip_radius
     ?probe net =
-  Monte_carlo.estimate ?jobs ?target_ci ?progress ?trace
-    ~label:"pipeline.survival" ~trials ~rng (fun sub ->
-      match trial ~rng:sub ~eps ?strip_radius ?probe net with
+  Ftcsn_sim.Trials.run_scratch ?jobs ?target_ci ?progress ?trace
+    ~label:"pipeline.survival" ~trials ~rng
+    ~init:(fun () -> create_ws net)
+    (fun ws sub ->
+      match trial_ws ?strip_radius ?probe ws ~rng:sub ~eps with
       | Survived -> true
       | Shorted _ | Isolated _ | Unroutable _ -> false)
 

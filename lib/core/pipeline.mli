@@ -58,7 +58,36 @@ val trial :
   ?probe:probe ->
   Ftcsn_networks.Network.t ->
   verdict
-(** One fault sample at ε₁ = ε₂ = [eps], stripped and probed. *)
+(** One fault sample at ε₁ = ε₂ = [eps], stripped and probed.  This is
+    the legacy allocating path, kept as the reference oracle; hot loops
+    use {!trial_ws}. *)
+
+type ws
+(** Per-domain trial workspace: strip state
+    ({!Ftcsn_networks.Network.t}-sized bitsets, union-find, BFS arrays),
+    a greedy router with its scratch, and a prebuilt Menger flow arena.
+    Probes run over the original graph under the strip's vertex/edge
+    masks, so no per-trial subgraph is ever rebuilt.  Single-domain
+    state: create one per worker via the {!Ftcsn_sim.Trials.run_scratch}
+    [~init] hook (as {!survival} does). *)
+
+val create_ws : Ftcsn_networks.Network.t -> ws
+
+val ws_fault_strip : ws -> Fault_strip.ws
+(** The workspace's strip state — valid after a {!trial_ws} for
+    inspecting the last trial's masks and shorted/stripped sets. *)
+
+val trial_ws :
+  ?strip_radius:int ->
+  ?probe:probe ->
+  ws ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float ->
+  verdict
+(** {!trial} on the workspace: identical PRNG draw order and identical
+    verdicts (the qcheck suite pins agreement with {!trial}), with the
+    steady-state allocating only probe permutations/index sets and
+    returned paths. *)
 
 val survival :
   ?jobs:int ->
@@ -77,6 +106,8 @@ val survival :
     is identical at every [jobs]; [target_ci] stops early once the Wilson
     95% half-width is small enough.  [trace] streams the engine's
     structured JSONL events (chunk timings, stopping decisions) without
-    perturbing the estimate. *)
+    perturbing the estimate.  Trials run on the {!ws} workspace path (one
+    workspace per worker domain); estimates are bit-identical to the
+    legacy {!trial} loop. *)
 
 val verdict_label : verdict -> string

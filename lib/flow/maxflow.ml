@@ -78,10 +78,19 @@ let rec dfs t v ~sink pushed =
     !result
   end
 
+let set_cap t a cap =
+  if cap < 0 then invalid_arg "Maxflow.set_cap: negative capacity";
+  Vec.set t.cap a cap;
+  Vec.set t.cap (a lxor 1) 0
+
 let max_flow t ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
-  t.level <- Array.make t.n (-1);
-  t.iter <- Array.make t.n 0;
+  (* level/iter are kept across calls (arena reuse); both are fully
+     re-initialised below before being read *)
+  if Array.length t.level <> t.n then begin
+    t.level <- Array.make t.n (-1);
+    t.iter <- Array.make t.n 0
+  end;
   let flow = ref 0 in
   while bfs t ~source ~sink do
     Array.fill t.iter 0 t.n 0;

@@ -79,3 +79,66 @@ let vertex_disjoint_paths ?forbidden g ~sources ~sinks =
 
 let min_vertex_cut_size ?forbidden g ~sources ~sinks =
   max_vertex_disjoint ?forbidden g ~sources ~sinks
+
+module Workspace = struct
+  (* Pre-built split arena reused across queries.  Every arc of the
+     node-split network is added once at creation with capacity 0;
+     each query re-arms capacities ([Maxflow.set_cap] also zeroes the
+     residual twins) and runs Dinic again.  A masked-out arc (capacity 0)
+     can carry no flow, so the flow VALUE equals the one computed by
+     [build] on the corresponding pruned graph — only the value is
+     exposed, keeping the arena bit-compatible with the allocating path. *)
+  type t = {
+    net : Maxflow.t;
+    n : int;
+    super_source : int;
+    super_sink : int;
+    split_arcs : int array;
+    edge_arcs : int array;
+    source_arcs : int array;
+    sink_arcs : int array;
+  }
+
+  let create g ~sources ~sinks =
+    let n = Digraph.vertex_count g in
+    let m = Digraph.edge_count g in
+    let net = Maxflow.create ~n:((2 * n) + 2) in
+    let super_source = 2 * n and super_sink = (2 * n) + 1 in
+    let split_arcs =
+      Array.init n (fun v ->
+          Maxflow.add_edge net ~src:(2 * v) ~dst:((2 * v) + 1) ~cap:0)
+    in
+    let edge_arcs = Array.make m (-1) in
+    Digraph.iter_edges g (fun ~eid ~src ~dst ->
+        edge_arcs.(eid) <-
+          Maxflow.add_edge net ~src:((2 * src) + 1) ~dst:(2 * dst) ~cap:0);
+    let source_arcs =
+      Array.map
+        (fun s -> Maxflow.add_edge net ~src:super_source ~dst:(2 * s) ~cap:0)
+        sources
+    in
+    let sink_arcs =
+      Array.map
+        (fun t -> Maxflow.add_edge net ~src:((2 * t) + 1) ~dst:super_sink ~cap:0)
+        sinks
+    in
+    { net; n; super_source; super_sink; split_arcs; edge_arcs; source_arcs; sink_arcs }
+
+  let max_vertex_disjoint ?(forbidden = fun _ -> false)
+      ?(edge_ok = fun _ -> true) t ~source_slots ~sink_slots =
+    for v = 0 to t.n - 1 do
+      Maxflow.set_cap t.net t.split_arcs.(v) (if forbidden v then 0 else 1)
+    done;
+    Array.iteri
+      (fun e a -> Maxflow.set_cap t.net a (if edge_ok e then 1 else 0))
+      t.edge_arcs;
+    Array.iter (fun a -> Maxflow.set_cap t.net a 0) t.source_arcs;
+    Array.iter (fun a -> Maxflow.set_cap t.net a 0) t.sink_arcs;
+    Array.iter
+      (fun slot -> Maxflow.set_cap t.net t.source_arcs.(slot) 1)
+      source_slots;
+    Array.iter
+      (fun slot -> Maxflow.set_cap t.net t.sink_arcs.(slot) 1)
+      sink_slots;
+    Maxflow.max_flow t.net ~source:t.super_source ~sink:t.super_sink
+end

@@ -33,3 +33,33 @@ val min_vertex_cut_size :
 (** Size of a minimum vertex cut (counting cut vertices; equals
     {!max_vertex_disjoint} by Menger).  Lemma 3 of the paper applies this
     duality to faulty-vertex cut sets in directed grids. *)
+
+(** Reusable node-split flow arena for repeated disjoint-path counting on
+    one graph — the allocation-free backend of Monte-Carlo
+    superconcentrator probes.  The arena is built once over the full
+    graph plus a fixed universe of candidate sources and sinks; each
+    query re-arms arc capacities in place (masked vertices, edges and
+    unselected terminals get capacity 0) and reruns Dinic.  A
+    zero-capacity arc carries no flow, so the returned value equals
+    {!max_vertex_disjoint} on the correspondingly pruned graph.
+    Workspaces are single-domain state. *)
+module Workspace : sig
+  type t
+
+  val create :
+    Ftcsn_graph.Digraph.t -> sources:int array -> sinks:int array -> t
+  (** Build the arena; [sources]/[sinks] fix the universe of candidate
+      terminals, addressed by their positions in these arrays. *)
+
+  val max_vertex_disjoint :
+    ?forbidden:(int -> bool) ->
+    ?edge_ok:(int -> bool) ->
+    t ->
+    source_slots:int array ->
+    sink_slots:int array ->
+    int
+  (** Maximum vertex-disjoint path count from the sources at
+      [source_slots] (positions in the creation-time [sources]) to the
+      sinks at [sink_slots], avoiding [forbidden] vertices and edges with
+      [edge_ok eid = false].  Allocation-free. *)
+end

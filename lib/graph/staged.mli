@@ -11,8 +11,10 @@ type t = {
   stages : int;  (** number of stages = max stage + 1 *)
 }
 
-val of_sources : Digraph.t -> sources:int list -> t
-(** Stage = longest-path distance from the sources (DAG required). *)
+val of_sources : ?edge_ok:(int -> bool) -> Digraph.t -> sources:int list -> t
+(** Stage = longest-path distance from the sources (DAG required).
+    [edge_ok] masks edges out before staging, so a surviving subnetwork
+    can be staged without rebuilding it. *)
 
 val is_strictly_staged : Digraph.t -> t -> bool
 (** True iff every edge joins consecutive stages. *)

@@ -2,7 +2,7 @@ module Bitset = Ftcsn_util.Bitset
 
 let always _ = true
 
-let bfs_core ~undirected ?(allowed = always) g ~sources =
+let bfs_core ~undirected ?(allowed = always) ?(edge_ok = always) g ~sources =
   let n = Digraph.vertex_count g in
   let dist = Array.make n (-1) in
   let queue = Queue.create () in
@@ -21,14 +21,49 @@ let bfs_core ~undirected ?(allowed = always) g ~sources =
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     let d = dist.(v) + 1 in
-    Digraph.iter_out g v (fun ~dst ~eid:_ -> visit d dst);
-    if undirected then Digraph.iter_in g v (fun ~src ~eid:_ -> visit d src)
+    Digraph.iter_out g v (fun ~dst ~eid -> if edge_ok eid then visit d dst);
+    if undirected then
+      Digraph.iter_in g v (fun ~src ~eid -> if edge_ok eid then visit d src)
   done;
   dist
 
-let bfs_directed ?allowed g ~sources = bfs_core ~undirected:false ?allowed g ~sources
+let bfs_directed ?allowed ?edge_ok g ~sources =
+  bfs_core ~undirected:false ?allowed ?edge_ok g ~sources
 
-let bfs_undirected ?allowed g ~sources = bfs_core ~undirected:true ?allowed g ~sources
+let bfs_undirected ?allowed ?edge_ok g ~sources =
+  bfs_core ~undirected:true ?allowed ?edge_ok g ~sources
+
+(* Scratch-buffer BFS: same visit discipline as [bfs_core ~undirected:false]
+   (FIFO over out-edges in CSR order), but the queue and distance arrays are
+   caller-provided so the steady state of a Monte-Carlo sweep performs no
+   allocation.  BFS distances are independent of tie-breaking, so this is
+   bit-identical to the allocating variant wherever only [dist] is read. *)
+let bfs_directed_into ?(allowed = always) ?(edge_ok = always) g ~sources ~queue
+    ~dist =
+  let n = Digraph.vertex_count g in
+  if Array.length queue < n || Array.length dist < n then
+    invalid_arg "Traverse.bfs_directed_into: scratch arrays too small";
+  Array.fill dist 0 n (-1);
+  let head = ref 0 and tail = ref 0 in
+  List.iter
+    (fun s ->
+      if dist.(s) = -1 then begin
+        dist.(s) <- 0;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    sources;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    let d = dist.(v) + 1 in
+    Digraph.iter_out g v (fun ~dst ~eid ->
+        if edge_ok eid && dist.(dst) = -1 && allowed dst then begin
+          dist.(dst) <- d;
+          queue.(!tail) <- dst;
+          incr tail
+        end)
+  done
 
 let bfs_directed_max_dist g ~sources =
   Array.fold_left max 0 (bfs_directed g ~sources)
@@ -43,7 +78,8 @@ let path_of_parents parents ~src ~dst =
   let rec walk v acc = if v = src then v :: acc else walk parents.(v) (v :: acc) in
   walk dst []
 
-let shortest_path_core ~undirected ?(allowed = always) g ~src ~dst =
+let shortest_path_core ~undirected ?(allowed = always) ?(edge_ok = always) g
+    ~src ~dst =
   let n = Digraph.vertex_count g in
   if src = dst then Some [ src ]
   else begin
@@ -62,21 +98,60 @@ let shortest_path_core ~undirected ?(allowed = always) g ~src ~dst =
     in
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      Digraph.iter_out g u (fun ~dst:v ~eid:_ -> visit u v);
-      if undirected then Digraph.iter_in g u (fun ~src:v ~eid:_ -> visit u v)
+      Digraph.iter_out g u (fun ~dst:v ~eid -> if edge_ok eid then visit u v);
+      if undirected then
+        Digraph.iter_in g u (fun ~src:v ~eid -> if edge_ok eid then visit u v)
     done;
     if !found then Some (path_of_parents parent ~src ~dst) else None
   end
 
-let shortest_path ?allowed g ~src ~dst =
-  shortest_path_core ~undirected:false ?allowed g ~src ~dst
+let shortest_path ?allowed ?edge_ok g ~src ~dst =
+  shortest_path_core ~undirected:false ?allowed ?edge_ok g ~src ~dst
 
-let shortest_path_undirected ?allowed g ~src ~dst =
-  shortest_path_core ~undirected:true ?allowed g ~src ~dst
+let shortest_path_undirected ?allowed ?edge_ok g ~src ~dst =
+  shortest_path_core ~undirected:true ?allowed ?edge_ok g ~src ~dst
 
-let topological_order g =
+(* Scratch-buffer shortest path, directed only: mirrors
+   [shortest_path_core ~undirected:false] exactly — same FIFO order, same
+   visit condition — with caller-provided parent/queue arrays instead of
+   fresh ones.  "Seen" is encoded as [v = src || parent.(v) >= 0], so only
+   the parent array needs refilling per call.  The returned path list is
+   the one remaining allocation. *)
+let shortest_path_into ?(allowed = always) ?(edge_ok = always) g ~src ~dst
+    ~parent ~queue =
   let n = Digraph.vertex_count g in
-  let indeg = Array.init n (Digraph.in_degree g) in
+  if Array.length parent < n || Array.length queue < n then
+    invalid_arg "Traverse.shortest_path_into: scratch arrays too small";
+  if src = dst then Some [ src ]
+  else begin
+    Array.fill parent 0 n (-1);
+    let head = ref 0 and tail = ref 0 in
+    queue.(!tail) <- src;
+    incr tail;
+    let found = ref false in
+    let visit u v =
+      if (not (v = src || parent.(v) >= 0)) && (v = dst || allowed v) then begin
+        parent.(v) <- u;
+        if v = dst then found := true
+        else begin
+          queue.(!tail) <- v;
+          incr tail
+        end
+      end
+    in
+    while (not !found) && !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      Digraph.iter_out g u (fun ~dst:v ~eid -> if edge_ok eid then visit u v)
+    done;
+    if !found then Some (path_of_parents parent ~src ~dst) else None
+  end
+
+let topological_order ?(edge_ok = always) g =
+  let n = Digraph.vertex_count g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges g (fun ~eid ~src:_ ~dst ->
+      if edge_ok eid then indeg.(dst) <- indeg.(dst) + 1);
   let queue = Queue.create () in
   Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
   let order = Array.make n (-1) in
@@ -85,26 +160,30 @@ let topological_order g =
     let v = Queue.pop queue in
     order.(!filled) <- v;
     incr filled;
-    Digraph.iter_out g v (fun ~dst ~eid:_ ->
-        indeg.(dst) <- indeg.(dst) - 1;
-        if indeg.(dst) = 0 then Queue.add dst queue)
+    Digraph.iter_out g v (fun ~dst ~eid ->
+        if edge_ok eid then begin
+          indeg.(dst) <- indeg.(dst) - 1;
+          if indeg.(dst) = 0 then Queue.add dst queue
+        end)
   done;
   if !filled = n then Some order else None
 
 let is_acyclic g = topological_order g <> None
 
-let longest_path_dag g ~sources =
-  match topological_order g with
+let longest_path_dag ?edge_ok g ~sources =
+  match topological_order ?edge_ok g with
   | None -> invalid_arg "Traverse.longest_path_dag: cyclic graph"
   | Some order ->
+      let edge_ok = Option.value edge_ok ~default:always in
       let n = Digraph.vertex_count g in
       let dist = Array.make n (-1) in
       List.iter (fun s -> dist.(s) <- 0) sources;
       Array.iter
         (fun v ->
           if dist.(v) >= 0 then
-            Digraph.iter_out g v (fun ~dst ~eid:_ ->
-                if dist.(v) + 1 > dist.(dst) then dist.(dst) <- dist.(v) + 1))
+            Digraph.iter_out g v (fun ~dst ~eid ->
+                if edge_ok eid && dist.(v) + 1 > dist.(dst) then
+                  dist.(dst) <- dist.(v) + 1))
         order;
       dist
 

@@ -3,18 +3,48 @@
 
     The paper's lower bound (§5) measures distances "ignoring the direction
     of each edge"; {!bfs_undirected} implements exactly that metric, while
-    {!bfs_directed} serves routing and depth computation. *)
+    {!bfs_directed} serves routing and depth computation.
+
+    Every traversal takes an optional [edge_ok : eid -> bool] mask that
+    hides edges from the walk without rebuilding the graph.  Because CSR
+    adjacency lists keep edges in ascending edge-id order, traversing the
+    original graph under a mask visits vertices in exactly the order a
+    rebuilt {!Digraph.subgraph_by_edges} would — masked traversals are
+    bit-identical to their rebuild-based equivalents.  The [_into]
+    variants additionally take caller-owned scratch arrays so the
+    Monte-Carlo hot path performs no per-trial allocation. *)
 
 val bfs_directed :
-  ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> int array
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  sources:int list ->
+  int array
 (** [bfs_directed g ~sources] is the array of directed hop distances from
     the source set; [-1] marks unreachable vertices.  [allowed] restricts the
-    traversal to permitted vertices (sources are visited regardless). *)
+    traversal to permitted vertices (sources are visited regardless);
+    [edge_ok] restricts it to permitted edges. *)
 
 val bfs_undirected :
-  ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> int array
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  sources:int list ->
+  int array
 (** As {!bfs_directed} but edges are traversed in both directions — the
     paper's [dist] metric of §5. *)
+
+val bfs_directed_into :
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  sources:int list ->
+  queue:int array ->
+  dist:int array ->
+  unit
+(** Allocation-free {!bfs_directed}: distances are written into [dist]
+    (fully re-initialised to [-1] first) using [queue] as the BFS ring
+    buffer.  Both arrays must have length at least [vertex_count g]. *)
 
 val bfs_directed_max_dist : Digraph.t -> sources:int list -> int
 (** Largest finite directed distance from the source set. *)
@@ -23,21 +53,47 @@ val reachable : ?allowed:(int -> bool) -> Digraph.t -> sources:int list -> Ftcsn
 (** Directed reachability set. *)
 
 val shortest_path :
-  ?allowed:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  int list option
 (** Vertices of one shortest directed path [src ... dst], or [None]. *)
 
 val shortest_path_undirected :
-  ?allowed:(int -> bool) -> Digraph.t -> src:int -> dst:int -> int list option
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  int list option
 
-val topological_order : Digraph.t -> int array option
-(** Kahn's algorithm; [None] when the graph has a directed cycle. *)
+val shortest_path_into :
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  parent:int array ->
+  queue:int array ->
+  int list option
+(** Allocation-free {!shortest_path} (directed): [parent] and [queue] are
+    caller-owned scratch of length at least [vertex_count g]; the returned
+    path list is the only allocation.  Same FIFO discipline as
+    {!shortest_path}, hence the same path. *)
+
+val topological_order : ?edge_ok:(int -> bool) -> Digraph.t -> int array option
+(** Kahn's algorithm; [None] when the graph (restricted to [edge_ok]
+    edges) has a directed cycle. *)
 
 val is_acyclic : Digraph.t -> bool
 
-val longest_path_dag : Digraph.t -> sources:int list -> int array
+val longest_path_dag :
+  ?edge_ok:(int -> bool) -> Digraph.t -> sources:int list -> int array
 (** For a DAG: longest directed path length (in edges) from the source set
-    to each vertex, [-1] if unreachable.  @raise Invalid_argument on cyclic
-    input. *)
+    to each vertex, [-1] if unreachable.  [edge_ok] masks edges out of the
+    DAG first.  @raise Invalid_argument on cyclic input. *)
 
 val depth : Digraph.t -> inputs:int list -> outputs:int list -> int
 (** The network-depth measure of the paper (§2): the largest number of

@@ -59,8 +59,8 @@ let pattern_probability pattern ~eps_open ~eps_close =
       | Closed_failure -> eps_close)
     1.0 pattern
 
-let faulty_vertices g pattern =
-  let faulty = Bitset.create (Digraph.vertex_count g) in
+let faulty_vertices_into g pattern faulty =
+  Bitset.clear faulty;
   Array.iteri
     (fun e s ->
       if not (state_equal s Normal) then begin
@@ -68,5 +68,9 @@ let faulty_vertices g pattern =
         Bitset.add faulty src;
         Bitset.add faulty dst
       end)
-    pattern;
+    pattern
+
+let faulty_vertices g pattern =
+  let faulty = Bitset.create (Digraph.vertex_count g) in
+  faulty_vertices_into g pattern faulty;
   faulty

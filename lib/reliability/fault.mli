@@ -44,3 +44,8 @@ val faulty_vertices : Ftcsn_graph.Digraph.t -> pattern -> Ftcsn_util.Bitset.t
 (** Vertices incident to at least one failed edge — the paper's §6 notion
     "say a vertex η of 𝒩 is faulty if an edge (ζ, η) or (η, ζ) is in open
     or closed failure state". *)
+
+val faulty_vertices_into :
+  Ftcsn_graph.Digraph.t -> pattern -> Ftcsn_util.Bitset.t -> unit
+(** As {!faulty_vertices}, clearing and refilling a caller-owned bitset
+    (capacity [vertex_count g]) instead of allocating one. *)

@@ -30,17 +30,23 @@ let make ~rows ~width =
   done;
   { graph = Digraph.Builder.freeze b; input; output; rows; width }
 
+(* Both estimators run on the Scratch workspace path: per-worker BFS
+   arrays and union-find, no per-trial allocation.  Labels and draw
+   order are unchanged, so curves match the historical runs exactly. *)
 let open_failure_prob ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ?jobs ?target_ci ?progress ?trace
+  Monte_carlo.estimate_event_scratch ?jobs ?target_ci ?progress ?trace
     ~label:"hammock.open_failure_prob" ~trials ~rng ~graph:t.graph
-    ~eps_open:eps ~eps_close:eps (fun pattern ->
-      not (Survivor.connected_ignoring_opens t.graph pattern ~a:t.input ~b:t.output))
+    ~eps_open:eps ~eps_close:eps (fun sc ->
+      not
+        (Survivor.connected_ignoring_opens_into sc (Scratch.pattern sc)
+           ~a:t.input ~b:t.output))
 
 let short_failure_prob ?jobs ?target_ci ?progress ?trace ~trials ~rng ~eps t =
-  Monte_carlo.estimate_event ?jobs ?target_ci ?progress ?trace
+  Monte_carlo.estimate_event_scratch ?jobs ?target_ci ?progress ?trace
     ~label:"hammock.short_failure_prob" ~trials ~rng ~graph:t.graph
-    ~eps_open:eps ~eps_close:eps (fun pattern ->
-      Survivor.shorted_by_closure t.graph pattern ~a:t.input ~b:t.output)
+    ~eps_open:eps ~eps_close:eps (fun sc ->
+      Survivor.shorted_by_closure_into sc (Scratch.pattern sc) ~a:t.input
+        ~b:t.output)
 
 let size t = Digraph.edge_count t.graph
 

@@ -14,7 +14,8 @@ type counts = {
   normals : int array;
 }
 
-let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches () =
+let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~init ~event ~switches ()
+    =
   let m = Digraph.edge_count graph in
   Array.iter
     (fun e ->
@@ -23,14 +24,14 @@ let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches () =
   let k = Array.length switches in
   let counts =
     Trials.map_reduce ?jobs ?trace ~label:"importance.birnbaum" ~trials ~rng
-      ~init:(fun () -> Fault.all_normal m)
+      ~init:(fun () -> (init (), Fault.all_normal m))
       ~create_acc:(fun () ->
         {
           opens = Array.make k 0;
           closes = Array.make k 0;
           normals = Array.make k 0;
         })
-      ~trial:(fun pattern acc sub ->
+      ~trial:(fun (ws, pattern) acc sub ->
         Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern;
         Array.iteri
           (fun idx e ->
@@ -38,11 +39,11 @@ let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches () =
                switch under study forced three ways *)
             let saved = pattern.(e) in
             pattern.(e) <- Fault.Normal;
-            if event pattern then acc.normals.(idx) <- acc.normals.(idx) + 1;
+            if event ws pattern then acc.normals.(idx) <- acc.normals.(idx) + 1;
             pattern.(e) <- Fault.Open_failure;
-            if event pattern then acc.opens.(idx) <- acc.opens.(idx) + 1;
+            if event ws pattern then acc.opens.(idx) <- acc.opens.(idx) + 1;
             pattern.(e) <- Fault.Closed_failure;
-            if event pattern then acc.closes.(idx) <- acc.closes.(idx) + 1;
+            if event ws pattern then acc.closes.(idx) <- acc.closes.(idx) + 1;
             pattern.(e) <- saved)
           switches)
       ~combine:(fun global chunk ->
@@ -63,11 +64,12 @@ let importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches () =
       })
     switches
 
-let rank ?jobs ?trace ~trials ~rng ~graph ~eps ~event ?(sample = 32) () =
+let rank ?jobs ?trace ~trials ~rng ~graph ~eps ~init ~event ?(sample = 32) ()
+    =
   let m = Digraph.edge_count graph in
   let switches = Rng.sample_without_replacement rng ~n:m ~k:(min sample m) in
   let estimates =
-    importance ?jobs ?trace ~trials ~rng ~graph ~eps ~event ~switches ()
+    importance ?jobs ?trace ~trials ~rng ~graph ~eps ~init ~event ~switches ()
   in
   Array.sort
     (fun a b ->

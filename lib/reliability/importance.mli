@@ -26,14 +26,19 @@ val importance :
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->
   eps:float ->
-  event:(Fault.pattern -> bool) ->
+  init:(unit -> 'ws) ->
+  event:('ws -> Fault.pattern -> bool) ->
   switches:int array ->
   unit ->
   estimate array
 (** Paired Monte-Carlo estimates for the listed switches; [event] is the
-    failure predicate, evaluated 3·|switches| times per trial.  Runs on
-    the {!Ftcsn_sim.Trials} engine (one substream and one reused pattern
-    buffer per trial), so results are identical at every [jobs]. *)
+    failure predicate, evaluated 3·|switches| times per trial against a
+    per-worker workspace created by [init] (pass [fun () -> ()] and
+    ignore the workspace for stateless events; pass e.g. a
+    [Fault_strip.create_ws] thunk so the event can run allocation-free).
+    Runs on the {!Ftcsn_sim.Trials} engine (one substream and one reused
+    pattern buffer per trial), so results are identical at every
+    [jobs]. *)
 
 val rank :
   ?jobs:int ->
@@ -42,7 +47,8 @@ val rank :
   rng:Ftcsn_prng.Rng.t ->
   graph:Ftcsn_graph.Digraph.t ->
   eps:float ->
-  event:(Fault.pattern -> bool) ->
+  init:(unit -> 'ws) ->
+  event:('ws -> Fault.pattern -> bool) ->
   ?sample:int ->
   unit ->
   estimate array

@@ -23,4 +23,12 @@ let estimate_event ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng
       Fault.sample_into sub ~eps_open ~eps_close pattern;
       f pattern)
 
+let estimate_event_scratch ?jobs ?target_ci ?progress ?trace ?label ~trials
+    ~rng ~graph ~eps_open ~eps_close f =
+  Trials.run_scratch ?jobs ?target_ci ?progress ?trace ?label ~trials ~rng
+    ~init:(fun () -> Scratch.create graph)
+    (fun sc sub ->
+      Fault.sample_into sub ~eps_open ~eps_close (Scratch.pattern sc);
+      f sc)
+
 let pp = Trials.pp

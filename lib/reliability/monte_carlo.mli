@@ -56,4 +56,23 @@ val estimate_event :
     and test the event.  The pattern is scratch: the callback must not
     retain it across trials. *)
 
+val estimate_event_scratch :
+  ?jobs:int ->
+  ?target_ci:float ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  graph:Ftcsn_graph.Digraph.t ->
+  eps_open:float ->
+  eps_close:float ->
+  (Scratch.t -> bool) ->
+  estimate
+(** As {!estimate_event}, but the per-worker state is a full {!Scratch}
+    workspace whose pattern buffer is refilled each trial, so the event
+    can use the allocation-free [Survivor.*_into] operations
+    ({!Scratch.pattern} is the freshly sampled pattern).  Draw order and
+    estimates are identical to {!estimate_event}. *)
+
 val pp : Format.formatter -> estimate -> unit

@@ -44,18 +44,19 @@ let size_factor g ~gadget =
 
 let logical_rates ?jobs ?trace ~trials ~rng ~eps_open ~eps_close t =
   let gg = t.gadget.Sp_network.graph in
-  let gm = Digraph.edge_count gg in
   let gin = t.gadget.Sp_network.input and gout = t.gadget.Sp_network.output in
   let counts =
     Ftcsn_sim.Trials.map_reduce ?jobs ?trace
       ~label:"substitution.logical_rates" ~trials ~rng
-      ~init:(fun () -> Fault.all_normal gm)
+      ~init:(fun () -> Scratch.create gg)
       ~create_acc:(fun () -> [| 0; 0 |])
-      ~trial:(fun slice acc sub ->
+      ~trial:(fun sc acc sub ->
+        let slice = Scratch.pattern sc in
         Fault.sample_into sub ~eps_open ~eps_close slice;
-        if Survivor.shorted_by_closure gg slice ~a:gin ~b:gout then
+        if Survivor.shorted_by_closure_into sc slice ~a:gin ~b:gout then
           acc.(1) <- acc.(1) + 1
-        else if not (Survivor.connected_ignoring_opens gg slice ~a:gin ~b:gout)
+        else if
+          not (Survivor.connected_ignoring_opens_into sc slice ~a:gin ~b:gout)
         then acc.(0) <- acc.(0) + 1)
       ~combine:(fun global chunk ->
         global.(0) <- global.(0) + chunk.(0);

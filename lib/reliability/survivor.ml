@@ -51,29 +51,35 @@ let apply g pattern =
     new_to_old;
   { graph = quotient; vertex_image = label; edge_image; contracted_classes = classes }
 
+(* Terminal lists are tiny (the network's inputs and outputs), so the
+   duplicate-class checks use pairwise list scans instead of per-call hash
+   tables; the Monte-Carlo hot path uses the [_into] variants below, which
+   mark union-find roots in a workspace array. *)
 let terminals_distinct t terminals =
-  let seen = Hashtbl.create 16 in
-  List.for_all
-    (fun v ->
-      let c = t.vertex_image.(v) in
-      if Hashtbl.mem seen c then false
-      else begin
-        Hashtbl.add seen c ();
-        true
-      end)
-    terminals
+  let rec distinct_from c = function
+    | [] -> true
+    | w :: rest -> t.vertex_image.(w) <> c && distinct_from c rest
+  in
+  let rec go = function
+    | [] -> true
+    | v :: rest -> distinct_from t.vertex_image.(v) rest && go rest
+  in
+  go terminals
 
 let merged_pairs t terminals =
-  let by_class = Hashtbl.create 16 in
+  (* a terminal pairs with the *most recent* earlier terminal of its
+     class, and pairs are reported in terminal order *)
   let pairs = ref [] in
-  List.iter
-    (fun v ->
-      let c = t.vertex_image.(v) in
-      (match Hashtbl.find_opt by_class c with
-      | Some w -> pairs := (w, v) :: !pairs
-      | None -> ());
-      Hashtbl.replace by_class c v)
-    terminals;
+  let rec go rev_prefix = function
+    | [] -> ()
+    | v :: rest ->
+        let c = t.vertex_image.(v) in
+        (match List.find_opt (fun w -> t.vertex_image.(w) = c) rev_prefix with
+        | Some w -> pairs := (w, v) :: !pairs
+        | None -> ());
+        go (v :: rev_prefix) rest
+  in
+  go [] terminals;
   List.rev !pairs
 
 let shorted_by_closure g pattern ~a ~b =
@@ -95,3 +101,77 @@ let connected_ignoring_opens g pattern ~a ~b =
   let sub = Digraph.subgraph_by_edges g ~keep:exists_edge in
   let dist = Ftcsn_graph.Traverse.bfs_directed sub ~sources:[ a ] in
   dist.(b) >= 0
+
+(* Workspace variants: same semantics and the same [survivor.*] counters
+   as the functions above, but all per-trial state lives in a {!Scratch.t}
+   owned by the calling worker domain, so the Monte-Carlo inner loop does
+   not allocate.  Equivalence is pinned by the qcheck suite. *)
+
+let apply_into sc pattern =
+  Ftcsn_obs.Counter.incr c_apply;
+  let g = sc.Scratch.graph in
+  if Array.length pattern <> Digraph.edge_count g then
+    invalid_arg "Survivor.apply_into: pattern arity";
+  let uf = sc.Scratch.uf in
+  Union_find.reset uf;
+  Array.iteri
+    (fun e s ->
+      if Fault.state_equal s Fault.Closed_failure then begin
+        let src, dst = Digraph.edge_endpoints g e in
+        Union_find.union uf src dst
+      end)
+    pattern
+
+let terminals_distinct_into sc terminals =
+  let gen = Scratch.next_generation sc in
+  let mark = sc.Scratch.mark and uf = sc.Scratch.uf in
+  let rec go = function
+    | [] -> true
+    | v :: rest ->
+        let r = Union_find.find uf v in
+        if mark.(r) = gen then false
+        else begin
+          mark.(r) <- gen;
+          go rest
+        end
+  in
+  go terminals
+
+let merged_pairs_into sc terminals =
+  let gen = Scratch.next_generation sc in
+  let mark = sc.Scratch.mark
+  and mark_value = sc.Scratch.mark_value
+  and uf = sc.Scratch.uf in
+  let pairs = ref [] in
+  List.iter
+    (fun v ->
+      let r = Union_find.find uf v in
+      if mark.(r) = gen then pairs := (mark_value.(r), v) :: !pairs;
+      mark.(r) <- gen;
+      mark_value.(r) <- v)
+    terminals;
+  List.rev !pairs
+
+let shorted_by_closure_into sc pattern ~a ~b =
+  Ftcsn_obs.Counter.incr c_shorted;
+  let g = sc.Scratch.graph in
+  let uf = sc.Scratch.uf in
+  Union_find.reset uf;
+  Array.iteri
+    (fun e s ->
+      if Fault.state_equal s Fault.Closed_failure then begin
+        let src, dst = Digraph.edge_endpoints g e in
+        Union_find.union uf src dst
+      end)
+    pattern;
+  Union_find.equiv uf a b
+
+let connected_ignoring_opens_into sc pattern ~a ~b =
+  Ftcsn_obs.Counter.incr c_connected;
+  (* BFS over the original CSR with open edges masked: subgraphs keep all
+     vertices and preserve adjacency order, so reachability is identical
+     to the rebuild in [connected_ignoring_opens]. *)
+  Ftcsn_graph.Traverse.bfs_directed_into sc.Scratch.graph
+    ~edge_ok:(fun e -> not (Fault.state_equal pattern.(e) Fault.Open_failure))
+    ~sources:[ a ] ~queue:sc.Scratch.queue ~dist:sc.Scratch.dist;
+  sc.Scratch.dist.(b) >= 0

@@ -43,3 +43,34 @@ val connected_ignoring_opens :
   Ftcsn_graph.Digraph.t -> Fault.pattern -> a:int -> b:int -> bool
 (** True iff a directed path of non-open edges leads from [a] to [b] — the
     complement of the two-terminal "open" event. *)
+
+(** {2 Workspace variants}
+
+    Same semantics (and the same [survivor.*] counters) as the functions
+    above, but all per-trial state lives in the caller's {!Scratch.t}, so
+    repeated trials allocate nothing.  The workspace must have been
+    created on the same graph the pattern describes. *)
+
+val apply_into : Scratch.t -> Fault.pattern -> unit
+(** Contract the pattern's closed-failure edges into the workspace's
+    union-find (after a {!Ftcsn_util.Union_find.reset}).  Afterwards the
+    workspace answers the contraction queries below; unlike {!apply} no
+    quotient graph is materialised — routing runs over the original CSR
+    with failed edges masked instead. *)
+
+val terminals_distinct_into : Scratch.t -> int list -> bool
+(** {!terminals_distinct} against the contraction classes loaded by the
+    last {!apply_into}. *)
+
+val merged_pairs_into : Scratch.t -> int list -> (int * int) list
+(** {!merged_pairs} against the contraction classes loaded by the last
+    {!apply_into}; the result list is the only allocation. *)
+
+val shorted_by_closure_into :
+  Scratch.t -> Fault.pattern -> a:int -> b:int -> bool
+(** {!shorted_by_closure} using the workspace union-find. *)
+
+val connected_ignoring_opens_into :
+  Scratch.t -> Fault.pattern -> a:int -> b:int -> bool
+(** {!connected_ignoring_opens} as a BFS over the workspace graph with
+    open edges masked (no subgraph rebuild). *)

@@ -9,7 +9,8 @@ type outcome =
 
 exception Out_of_budget
 
-let route_all ?(budget = 200_000) ?(allowed = fun _ -> true) net requests =
+let route_all ?(budget = 200_000) ?(allowed = fun _ -> true)
+    ?(edge_ok = fun _ -> true) net requests =
   let g = net.Network.graph in
   let n = Digraph.vertex_count g in
   let busy = Array.make n false in
@@ -46,10 +47,14 @@ let route_all ?(budget = 200_000) ?(allowed = fun _ -> true) net requests =
             end
           end
           else
-            Digraph.fold_out g v ~init:false ~f:(fun found ~dst:w ~eid:_ ->
+            Digraph.fold_out g v ~init:false ~f:(fun found ~dst:w ~eid ->
                 found
                 ||
-                if (not busy.(w)) && allowed w && (w = dst || not terminal.(w))
+                if
+                  edge_ok eid
+                  && (not busy.(w))
+                  && allowed w
+                  && (w = dst || not terminal.(w))
                 then begin
                   busy.(w) <- true;
                   let solved = extend w (v :: path) in

@@ -15,13 +15,18 @@ type outcome =
 val route_all :
   ?budget:int ->
   ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
   Ftcsn_networks.Network.t ->
   (int * int) list ->
   outcome
 (** Vertex-disjoint paths realising every (input vertex, output vertex)
     request simultaneously.  [budget] (default 200_000) bounds the number
-    of search-tree node expansions.  Paths never pass {e through} a
-    terminal vertex (in the paper's staged networks terminals have no
+    of search-tree node expansions.  [allowed]/[edge_ok] restrict the
+    usable vertices/edges; because adjacency lists keep ascending edge-id
+    order, searching a masked graph expands exactly the nodes the
+    corresponding subgraph search would, so outcomes (including budget
+    exhaustion) are identical.  Paths never pass {e through} a terminal
+    vertex (in the paper's staged networks terminals have no
     through-edges anyway). *)
 
 val count_paths : ?allowed:(int -> bool) -> Ftcsn_networks.Network.t -> src:int -> dst:int -> int

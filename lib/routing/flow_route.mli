@@ -22,3 +22,20 @@ val max_throughput :
   output_indices:int array ->
   int
 (** Largest number of vertex-disjoint paths between the chosen sets. *)
+
+type ws
+(** A prebuilt {!Ftcsn_flow.Menger.Workspace} flow arena over one
+    network, reused across throughput queries (single-domain state). *)
+
+val create_ws : Ftcsn_networks.Network.t -> ws
+
+val max_throughput_ws :
+  ?forbidden:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  ws ->
+  input_indices:int array ->
+  output_indices:int array ->
+  int
+(** {!max_throughput} without per-call construction: same value as the
+    allocating variant on the graph restricted to [edge_ok] edges and
+    non-[forbidden] vertices. *)

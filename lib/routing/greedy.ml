@@ -6,14 +6,22 @@ module Bitset = Ftcsn_util.Bitset
 type t = {
   net : Network.t;
   allowed : int -> bool;
+  edge_ok : int -> bool;
   busy_set : Bitset.t;
+  (* BFS scratch, so repeated routing calls don't allocate *)
+  parent : int array;
+  queue : int array;
 }
 
-let create ?(allowed = fun _ -> true) net =
+let create ?(allowed = fun _ -> true) ?(edge_ok = fun _ -> true) net =
+  let n = Digraph.vertex_count net.Network.graph in
   {
     net;
     allowed;
-    busy_set = Bitset.create (Digraph.vertex_count net.Network.graph);
+    edge_ok;
+    busy_set = Bitset.create n;
+    parent = Array.make n (-1);
+    queue = Array.make n 0;
   }
 
 let network t = t.net
@@ -27,8 +35,9 @@ let route t ~input ~output =
   if not (ok input && ok output) then None
   else begin
     let path =
-      Traverse.shortest_path ~allowed:ok t.net.Network.graph ~src:input
-        ~dst:output
+      Traverse.shortest_path_into ~allowed:ok ~edge_ok:t.edge_ok
+        t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
+        ~queue:t.queue
     in
     (match path with
     | Some p -> List.iter (Bitset.add t.busy_set) p

@@ -8,9 +8,16 @@
 
 type t
 
-val create : ?allowed:(int -> bool) -> Ftcsn_networks.Network.t -> t
+val create :
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Ftcsn_networks.Network.t ->
+  t
 (** Fresh routing state; [allowed] excludes vertices globally (e.g. the
-    fault-stripped set). *)
+    fault-stripped set), [edge_ok] excludes edges (e.g. failed switches),
+    so routing a surviving network needs no subgraph rebuild.  The
+    router's BFS runs on internal scratch arrays: after creation, routing
+    allocates only the returned paths. *)
 
 val network : t -> Ftcsn_networks.Network.t
 

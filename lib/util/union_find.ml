@@ -15,6 +15,15 @@ let create n =
 
 let size t = Array.length t.parent
 
+let reset t =
+  let n = Array.length t.parent in
+  for i = 0 to n - 1 do
+    t.parent.(i) <- i;
+    t.rank.(i) <- 0;
+    t.csize.(i) <- 1
+  done;
+  t.classes <- n
+
 let rec find t i =
   let p = t.parent.(i) in
   if p = i then i

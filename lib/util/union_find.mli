@@ -11,6 +11,10 @@ val create : int -> t
 val size : t -> int
 (** The universe size [n]. *)
 
+val reset : t -> unit
+(** Restore [n] singleton classes in place, without allocating — the
+    per-trial reuse hook of the simulation scratch workspaces. *)
+
 val find : t -> int -> int
 (** Canonical representative, with path compression. *)
 

@@ -887,6 +887,49 @@ let prop_transfer_size_accounting =
       Network.size h.Ftcsn.Transfer.network
       = Network.size net * h.Ftcsn.Transfer.size_factor)
 
+let prop_pipeline_ws_matches_trial =
+  QCheck2.Test.make
+    ~name:"Pipeline.trial_ws = Pipeline.trial on shared substreams" ~count:15
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 20))
+    (fun (seed, pct) ->
+      let ft = build_small () in
+      let net = ft.Ft_network.net in
+      let eps = float_of_int pct /. 100.0 in
+      let ws = Pipeline.create_ws net in
+      let root = Rng.create ~seed in
+      let ok = ref true in
+      (* the workspace is reused across trials, the legacy path allocates
+         afresh; identical substreams must give identical verdicts *)
+      for i = 0 to 9 do
+        let legacy = Pipeline.trial ~rng:(Rng.substream root i) ~eps net in
+        let ws_v = Pipeline.trial_ws ws ~rng:(Rng.substream root i) ~eps in
+        if legacy <> ws_v then ok := false
+      done;
+      !ok)
+
+let prop_pipeline_survival_jobs_identical =
+  QCheck2.Test.make
+    ~name:"Pipeline.survival: workspace engine = legacy loop, every jobs"
+    ~count:5
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let ft = build_small () in
+      let net = ft.Ft_network.net in
+      let trials = 60 in
+      let eps = 0.05 in
+      let run jobs =
+        let rng = Rng.create ~seed in
+        Pipeline.survival ~jobs ~trials ~rng ~eps net
+      in
+      (* reference: the legacy allocating trial on the same substreams *)
+      let legacy =
+        let rng = Rng.create ~seed in
+        Ftcsn_reliability.Monte_carlo.estimate ~trials ~rng (fun sub ->
+            Pipeline.trial ~rng:sub ~eps net = Pipeline.Survived)
+      in
+      let e1 = run 1 in
+      run 2 = e1 && run 4 = e1 && legacy = e1)
+
 let core_props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -895,6 +938,8 @@ let core_props =
       prop_grid_degrees;
       prop_tree_paths_invariants;
       prop_transfer_size_accounting;
+      prop_pipeline_ws_matches_trial;
+      prop_pipeline_survival_jobs_identical;
     ]
 
 let () =

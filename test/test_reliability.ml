@@ -4,6 +4,7 @@
 module Digraph = Ftcsn_graph.Digraph
 module Fault = Ftcsn_reliability.Fault
 module Survivor = Ftcsn_reliability.Survivor
+module Scratch = Ftcsn_reliability.Scratch
 module Exact = Ftcsn_reliability.Exact
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
 module Sp_network = Ftcsn_reliability.Sp_network
@@ -431,8 +432,9 @@ let test_importance_single_wire () =
   in
   let rng = Rng.create ~seed:88 in
   let est =
-    Importance.importance ~trials:500 ~rng ~graph:g ~eps:0.2 ~event
-      ~switches:[| 0 |] ()
+    Importance.importance ~trials:500 ~rng ~graph:g ~eps:0.2
+      ~init:(fun () -> ())
+      ~event:(fun () -> event) ~switches:[| 0 |] ()
   in
   (checkf 1e-9) "open importance" 1.0 est.(0).Importance.open_importance;
   (checkf 1e-9) "close importance" 0.0 est.(0).Importance.close_importance
@@ -446,8 +448,9 @@ let test_importance_redundant_pair () =
   let rng = Rng.create ~seed:89 in
   let eps = 0.2 in
   let est =
-    Importance.importance ~trials:30_000 ~rng ~graph:g ~eps ~event
-      ~switches:[| 0 |] ()
+    Importance.importance ~trials:30_000 ~rng ~graph:g ~eps
+      ~init:(fun () -> ())
+      ~event:(fun () -> event) ~switches:[| 0 |] ()
   in
   (* exact: I0 = P[switch 1 open] = eps *)
   checkb "open importance ~ eps" true
@@ -463,8 +466,9 @@ let test_importance_short_event () =
   let rng = Rng.create ~seed:90 in
   let eps = 0.25 in
   let est =
-    Importance.importance ~trials:30_000 ~rng ~graph:g ~eps ~event
-      ~switches:[| 0; 1 |] ()
+    Importance.importance ~trials:30_000 ~rng ~graph:g ~eps
+      ~init:(fun () -> ())
+      ~event:(fun () -> event) ~switches:[| 0; 1 |] ()
   in
   Array.iter
     (fun e ->
@@ -481,7 +485,9 @@ let test_importance_rank () =
   in
   let rng = Rng.create ~seed:91 in
   let ranked =
-    Importance.rank ~trials:8000 ~rng ~graph:g ~eps:0.15 ~event ~sample:3 ()
+    Importance.rank ~trials:8000 ~rng ~graph:g ~eps:0.15
+      ~init:(fun () -> ())
+      ~event:(fun () -> event) ~sample:3 ()
   in
   check "all sampled" 3 (Array.length ranked);
   check "series switch most critical" 0 ranked.(0).Importance.switch
@@ -676,6 +682,71 @@ let prop_sample_into_matches_sample =
       Array.for_all2 Fault.state_equal fresh buffer
       && Rng.int64 a = Rng.int64 b)
 
+let prop_workspace_survivor_matches_legacy =
+  QCheck2.Test.make ~name:"workspace survivor ops match the legacy path"
+    ~count:200
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2 + Rng.int rng 12 in
+      let m = Rng.int rng 24 in
+      let edges = Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n)) in
+      let g = Digraph.of_edges ~n edges in
+      let sc = Scratch.create g in
+      let terminals =
+        List.init (1 + Rng.int rng (min 4 n)) (fun _ -> Rng.int rng n)
+      in
+      let ok = ref true in
+      (* two rounds on one workspace: reuse must behave like fresh state *)
+      for _round = 0 to 1 do
+        let pattern = Fault.sample rng ~eps_open:0.2 ~eps_close:0.3 ~m in
+        let s = Survivor.apply g pattern in
+        Survivor.apply_into sc pattern;
+        if
+          Survivor.terminals_distinct s terminals
+          <> Survivor.terminals_distinct_into sc terminals
+        then ok := false;
+        if
+          Survivor.merged_pairs s terminals
+          <> Survivor.merged_pairs_into sc terminals
+        then ok := false;
+        let a = Rng.int rng n and b = Rng.int rng n in
+        if
+          Survivor.shorted_by_closure g pattern ~a ~b
+          <> Survivor.shorted_by_closure_into sc pattern ~a ~b
+        then ok := false;
+        if
+          Survivor.connected_ignoring_opens g pattern ~a ~b
+          <> Survivor.connected_ignoring_opens_into sc pattern ~a ~b
+        then ok := false
+      done;
+      !ok)
+
+let prop_hammock_ws_matches_legacy =
+  QCheck2.Test.make
+    ~name:"hammock estimates: workspace path = legacy path, every jobs"
+    ~count:10
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let h = Hammock.make ~rows:3 ~width:4 in
+      let trials = 400 in
+      let eps = 0.08 in
+      let run jobs =
+        let rng = Rng.create ~seed in
+        Hammock.open_failure_prob ~jobs ~trials ~rng ~eps h
+      in
+      (* reference: the allocating per-trial pattern + legacy BFS *)
+      let legacy =
+        let rng = Rng.create ~seed in
+        Monte_carlo.estimate_event ~trials ~rng ~graph:h.Hammock.graph
+          ~eps_open:eps ~eps_close:eps (fun pattern ->
+            not
+              (Survivor.connected_ignoring_opens h.Hammock.graph pattern
+                 ~a:h.Hammock.input ~b:h.Hammock.output))
+      in
+      let e1 = run 1 in
+      run 2 = e1 && run 4 = e1 && legacy = e1)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -683,6 +754,8 @@ let props =
       prop_survivor_edges_are_normal;
       prop_sp_probs_in_range;
       prop_sample_into_matches_sample;
+      prop_workspace_survivor_matches_legacy;
+      prop_hammock_ws_matches_legacy;
     ]
 
 let () =
