@@ -13,6 +13,7 @@ module Digraph = Ftcsn_graph.Digraph
 module Traverse = Ftcsn_graph.Traverse
 module Fault = Ftcsn_reliability.Fault
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
+module Scratch = Ftcsn_reliability.Scratch
 module Sp_network = Ftcsn_reliability.Sp_network
 module Hammock = Ftcsn_reliability.Hammock
 module Bipartite = Ftcsn_expander.Bipartite
@@ -252,14 +253,14 @@ let e3_depth () =
 (* ------------------------------------------------------------------ *)
 
 (* the lemma's setting: a terminal feeding every first-column vertex;
-   majority access to the last column through non-faulty vertices *)
-let grid_majority_access_trial rng grid_s eps =
-  let g = grid_s.Directed_grid.graph in
+   majority access to the last column through non-faulty vertices.
+   Runs on the Scratch workspace: the classified pattern, faulty bitset
+   and BFS arrays are all per-worker buffers. *)
+let grid_majority_access_event grid_s sc =
+  let g = Scratch.graph sc in
   let grid = grid_s.Directed_grid.grid in
-  let pattern =
-    Fault.sample rng ~eps_open:eps ~eps_close:eps ~m:(Digraph.edge_count g)
-  in
-  let faulty = Fault.faulty_vertices g pattern in
+  let faulty = Scratch.faulty sc in
+  Fault.faulty_vertices_into g (Scratch.pattern sc) faulty;
   let ok v = not (Ftcsn_util.Bitset.mem faulty v) in
   let sources =
     Array.to_list grid.Directed_grid.columns.(0)
@@ -267,15 +268,19 @@ let grid_majority_access_trial rng grid_s eps =
   in
   if sources = [] then false
   else begin
-    let dist = Traverse.bfs_directed ~allowed:ok g ~sources in
+    Traverse.bfs_directed_into ~allowed:ok g ~sources
+      ~queue:sc.Scratch.queue ~dist:sc.Scratch.dist;
     let last = grid.Directed_grid.columns.(grid.Directed_grid.stages - 1) in
     let reached =
       Array.fold_left
-        (fun acc v -> if dist.(v) >= 0 && ok v then acc + 1 else acc)
+        (fun acc v ->
+          if sc.Scratch.dist.(v) >= 0 && ok v then acc + 1 else acc)
         0 last
     in
     2 * reached > Array.length last
   end
+
+let e4_eps = [| 1e-3; 1e-2; 5e-2; 1e-1 |]
 
 let e4_grid_access () =
   let t =
@@ -292,25 +297,29 @@ let e4_grid_access () =
   List.iter
     (fun (rows, stages) ->
       let s = Directed_grid.make ~rows ~stages in
-      List.iter
-        (fun eps ->
-          let rng = rng_for (Printf.sprintf "e4-%d-%d" rows stages) in
-          let est =
-            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 6000) ~rng
-              (fun sub ->
-                grid_majority_access_trial sub s eps)
-          in
+      (* one CRN sweep over the ε grid: every grid point shares each
+         trial's per-edge draws, and because the historical loop re-seeded
+         the same rng for every ε, the per-point numbers are unchanged *)
+      let rng = rng_for (Printf.sprintf "e4-%d-%d" rows stages) in
+      let ests =
+        Monte_carlo.estimate_curve ~jobs:!jobs ~label:"e4.curve"
+          ~trials:(trials 6000) ~rng ~graph:s.Directed_grid.graph
+          ~grid:(Array.map (fun e -> (e, e)) e4_eps)
+          (grid_majority_access_event s)
+      in
+      Array.iteri
+        (fun k est ->
           Table.add_row t
             [
               Table.fi rows;
               Table.fi stages;
-              Table.fe eps;
+              Table.fe e4_eps.(k);
               Table.ff est.Monte_carlo.mean;
               Printf.sprintf "[%s, %s]"
                 (Table.ff est.Monte_carlo.ci_low)
                 (Table.ff est.Monte_carlo.ci_high);
             ])
-        [ 1e-3; 1e-2; 5e-2; 1e-1 ])
+        ests)
     [ (8, 4); (16, 4); (32, 6) ];
   Table.print t
 
@@ -331,6 +340,7 @@ let e5_expander_faults () =
           ("Chernoff bound", Table.Right);
         ]
   in
+  let eps_grid = [| 1e-4; 1e-3; 3e-3; 1e-2 |] in
   List.iter
     (fun outlets ->
       let rng = rng_for (Printf.sprintf "e5-%d" outlets) in
@@ -338,23 +348,32 @@ let e5_expander_faults () =
         Random_regular.matching_union ~rng ~inlets:outlets ~outlets ~degree:10
       in
       let g, _, outlet_ids = Bipartite.to_digraph b in
-      let m = Digraph.edge_count g in
       let threshold = max 1 (7 * outlets / 100) in
-      List.iter
-        (fun eps ->
-          let est =
-            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 8000) ~rng
-              (fun sub ->
-                let pattern = Fault.sample sub ~eps_open:eps ~eps_close:eps ~m in
-                let faulty = Fault.faulty_vertices g pattern in
-                let count =
-                  Array.fold_left
-                    (fun acc v ->
-                      if Ftcsn_util.Bitset.mem faulty v then acc + 1 else acc)
-                    0 outlet_ids
-                in
-                count > threshold)
-          in
+      (* coupled CRN sweep on the workspace path; the tail event is
+         monotone (the faulty set only grows with ε on shared draws), so
+         once a trial crosses the threshold its later points are free.
+         Unlike the historical loop, which threaded one rng through all
+         four ε runs, each point now sees the same coupled draws — the
+         estimates are equally valid but not bit-identical to the old
+         table. *)
+      let ests =
+        Monte_carlo.estimate_curve ~jobs:!jobs ~label:"e5.curve"
+          ~monotone_event:true ~trials:(trials 8000) ~rng ~graph:g
+          ~grid:(Array.map (fun e -> (e, e)) eps_grid)
+          (fun sc ->
+            let faulty = Scratch.faulty sc in
+            Fault.faulty_vertices_into g (Scratch.pattern sc) faulty;
+            let count =
+              Array.fold_left
+                (fun acc v ->
+                  if Ftcsn_util.Bitset.mem faulty v then acc + 1 else acc)
+                0 outlet_ids
+            in
+            count > threshold)
+      in
+      Array.iteri
+        (fun k est ->
+          let eps = eps_grid.(k) in
           (* an outlet has 20 incident switches; P[faulty] <= 40 eps *)
           let p_faulty = Float.min 1.0 (40.0 *. eps) in
           let bound =
@@ -368,7 +387,7 @@ let e5_expander_faults () =
               Table.fe est.Monte_carlo.mean;
               Table.fe bound;
             ])
-        [ 1e-4; 1e-3; 3e-3; 1e-2 ])
+        ests)
     [ 64; 256 ];
   Table.print t
 
@@ -434,19 +453,34 @@ let e6_shorting () =
       Benes.network (Benes.make 8);
     ]
   in
+  let eps_grid = [| 1e-2; 5e-2; 1e-1; 2e-1 |] in
   List.iter
     (fun net ->
-      let m = Network.size net in
-      List.iter
-        (fun eps ->
-          let rng = rng_for ("e6" ^ net.Network.name) in
-          let est =
-            Monte_carlo.estimate ~jobs:!jobs ~trials:(trials 4000) ~rng
-              (fun sub ->
-                let pattern = Fault.sample sub ~eps_open:eps ~eps_close:eps ~m in
-                let strip = Fault_strip.strip net pattern in
-                not (Fault_strip.healthy strip))
-          in
+      (* CRN sweep on the Fault_strip workspace.  The historical loop
+         re-seeded the same rng at every ε, so per-point numbers are
+         unchanged; shorting is not monotone in ε (the closed-edge set is
+         not nested), so every point is evaluated. *)
+      let rng = rng_for ("e6" ^ net.Network.name) in
+      let ests =
+        Ftcsn_sim.Trials.sweep ~jobs:!jobs ~label:"e6.curve"
+          ~trials:(trials 4000) ~rng ~points:(Array.length eps_grid)
+          ~init:(fun () -> Fault_strip.create_ws net)
+          (fun ws sub outcomes ->
+            let uniforms = Scratch.uniforms (Fault_strip.ws_scratch ws) in
+            let pattern = Fault_strip.ws_pattern ws in
+            Fault.sample_uniforms_into sub uniforms;
+            Array.iteri
+              (fun k eps ->
+                Fault.classify_into ~uniforms ~eps_open:eps ~eps_close:eps
+                  pattern;
+                Fault_strip.strip_into ws pattern;
+                if not (Fault_strip.ws_healthy ws) then
+                  Bytes.set outcomes k '\001')
+              eps_grid)
+      in
+      Array.iteri
+        (fun k est ->
+          let eps = eps_grid.(k) in
           let u =
             max 1
               (int_of_float
@@ -457,12 +491,12 @@ let e6_shorting () =
               net.Network.name;
               Table.fi (Network.n_inputs net);
               Table.fe eps;
-              Table.fe est.Monte_carlo.mean;
+              Table.fe est.Ftcsn_sim.Trials.mean;
               Table.fe
                 (Float.min 1.0
                    (Ftcsn.Paper_bounds.lemma7_shorting_bound ~u ~eps));
             ])
-        [ 1e-2; 5e-2; 1e-1; 2e-1 ])
+        ests)
     nets;
   Table.print t;
   Printf.printf
@@ -491,6 +525,7 @@ let e7_survival () =
     ]
   in
   let eps_list = [ 1e-4; 1e-3; 1e-2; 3e-2; 1e-1 ] in
+  let eps_grid = Array.of_list eps_list in
   let t =
     Table.create
       ~title:
@@ -500,18 +535,25 @@ let e7_survival () =
         (("network", Table.Left)
         :: List.map (fun e -> (Table.fe e, Table.Right)) eps_list)
   in
+  (* one coupled sweep per network instead of five independent runs; each
+     point of the curve is bit-identical to the historical per-ε run (the
+     old loop re-seeded the same rng at every ε, and survival_curve's
+     per-point probe streams match an independent run's), and the
+     ascending grid lets flow-only trials short-circuit after a monotone
+     failure *)
   List.iter
     (fun (name, net) ->
+      let rng = rng_for ("e7" ^ name) in
+      let ests =
+        Pipeline.survival_curve ~jobs:!jobs ~trials:(trials 200) ~rng
+          ~eps:eps_grid ~probe:Pipeline.sc_probe_only net
+      in
       let row =
-        List.map
-          (fun eps ->
-            let rng = rng_for ("e7" ^ name) in
-            let est =
-              Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng ~eps
-                ~probe:Pipeline.sc_probe_only net
-            in
-            Table.ff ~decimals:2 est.Monte_carlo.mean)
-          eps_list
+        Array.to_list
+          (Array.map
+             (fun (est : Monte_carlo.estimate) ->
+               Table.ff ~decimals:2 est.Monte_carlo.mean)
+             ests)
       in
       Table.add_row t (name :: row))
     nets;
@@ -528,16 +570,17 @@ let e7_survival () =
   in
   List.iter
     (fun (name, net) ->
+      let rng = rng_for ("e7b" ^ name) in
+      let ests =
+        Pipeline.survival_curve ~jobs:!jobs ~trials:(trials 200) ~rng
+          ~eps:eps_grid ~probe:Pipeline.default_probe net
+      in
       let row =
-        List.map
-          (fun eps ->
-            let rng = rng_for ("e7b" ^ name) in
-            let est =
-              Pipeline.survival ~jobs:!jobs ~trials:(trials 200) ~rng ~eps
-                ~probe:Pipeline.default_probe net
-            in
-            Table.ff ~decimals:2 est.Monte_carlo.mean)
-          eps_list
+        Array.to_list
+          (Array.map
+             (fun (est : Monte_carlo.estimate) ->
+               Table.ff ~decimals:2 est.Monte_carlo.mean)
+             ests)
       in
       Table.add_row t2 (name :: row))
     [
@@ -919,6 +962,10 @@ let a3_multibutterfly () =
     (fun degree ->
       let rng = rng_for (Printf.sprintf "a3-%d" degree) in
       let mb = Multibutterfly.make_structured ~rng ~degree n in
+      (* re-strip in place on a Fault_strip workspace instead of
+         allocating a pattern and strip record per rep; sample_into
+         consumes the stream exactly as sample did, so numbers match *)
+      let fs = Fault_strip.create_ws mb.Multibutterfly.net in
       let cell eps =
         let reps = max 5 (trials 30) in
         let acc = ref 0 in
@@ -926,12 +973,10 @@ let a3_multibutterfly () =
           let allowed =
             if eps = 0.0 then fun _ -> true
             else begin
-              let pattern =
-                Fault.sample rng ~eps_open:eps ~eps_close:eps
-                  ~m:(Network.size mb.Multibutterfly.net)
-              in
-              let strip = Fault_strip.strip mb.Multibutterfly.net pattern in
-              strip.Fault_strip.allowed
+              let pattern = Fault_strip.ws_pattern fs in
+              Fault.sample_into rng ~eps_open:eps ~eps_close:eps pattern;
+              Fault_strip.strip_into fs pattern;
+              Fault_strip.ws_allowed fs
             end
           in
           let pi = Rng.permutation rng n in

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --jobs 4     # Monte-Carlo worker domains
      dune exec bench/main.exe -- --no-timings # tables only
      dune exec bench/main.exe -- --smoke      # engine sweep only, reduced
-                                              # trials; CI smoke check *)
+                                              # trials; CI smoke check
+     dune exec bench/main.exe -- --engine     # engine sweep only, full
+                                              # trials; refresh BENCH_timings *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -15,6 +17,9 @@ let () =
   let no_timings = List.mem "--no-timings" args in
   if List.mem "--smoke" args then (
     Timings.run_engine ~quick:true ();
+    exit 0);
+  if List.mem "--engine" args then (
+    Timings.run_engine ();
     exit 0);
   (* strip "--jobs N" out of the positional arguments *)
   let jobs = ref 1 in

@@ -125,9 +125,17 @@ type engine_sample = {
   chunks : int;  (** chunk dispatches the engine made *)
   worker_seconds : float;  (** on-domain chunk time, summed over workers *)
   overhead_seconds : float;
-      (** wall time not explained by parallel chunk execution:
-          [seconds - worker_seconds / jobs], i.e. domain spawn/join,
-          scheduling and result merging *)
+      (** wall time not explained by achievable parallel chunk execution:
+          [seconds - worker_seconds / min jobs cores], i.e. worker
+          dispatch, scheduling and result merging.  The divisor is capped
+          at the core count because [jobs] beyond it cannot execute
+          concurrently — on a 1-core host a jobs=2 run's ideal wall time
+          is [worker_seconds], not [worker_seconds / 2], and dividing by
+          [jobs] would book the missing hardware as engine overhead. *)
+  pool_spawns : int;
+      (** worker domains the persistent pool spawned during this sample;
+          0 on every run whose [jobs] the pool has already reached *)
+  pool_reused : bool;  (** [jobs > 1] with no spawn: the pool was warm *)
   minor_words_per_trial : float;
       (** minor-heap words allocated per trial on the scheduling domain.
           At [jobs=1] every chunk runs on the calling domain, so this is
@@ -137,11 +145,15 @@ type engine_sample = {
       (** words promoted minor→major per trial, same caveat as above *)
 }
 
+let c_pool_spawns =
+  Ftcsn_obs.Metrics.counter Ftcsn_obs.Metrics.default "trials.pool.spawns"
+
 (* Each sweep runs with an in-memory trace sink attached; the engine's
    per-chunk events give the phase breakdown without touching the clock
    inside any trial. *)
-let timed ~bench ~jobs ~trials f =
+let timed_once ~bench ~jobs ~trials f =
   let sink, drain = Ftcsn_obs.Trace.memory () in
+  let sp0 = Ftcsn_obs.Counter.get c_pool_spawns in
   let mw0 = Gc.minor_words () in
   let pw0 = (Gc.quick_stat ()).Gc.promoted_words in
   let t0 = Unix.gettimeofday () in
@@ -149,6 +161,7 @@ let timed ~bench ~jobs ~trials f =
   let seconds = Unix.gettimeofday () -. t0 in
   let minor_words = Gc.minor_words () -. mw0 in
   let promoted_words = (Gc.quick_stat ()).Gc.promoted_words -. pw0 in
+  let pool_spawns = Ftcsn_obs.Counter.get c_pool_spawns - sp0 in
   Ftcsn_obs.Trace.close sink;
   let chunks = ref 0 in
   let busy_ns = ref 0 in
@@ -161,8 +174,9 @@ let timed ~bench ~jobs ~trials f =
       | _ -> ())
     (drain ());
   let worker_seconds = float_of_int !busy_ns *. 1e-9 in
+  let parallelism = min jobs (Domain.recommended_domain_count ()) in
   let overhead_seconds =
-    Float.max 0.0 (seconds -. (worker_seconds /. float_of_int jobs))
+    Float.max 0.0 (seconds -. (worker_seconds /. float_of_int parallelism))
   in
   {
     bench;
@@ -173,8 +187,32 @@ let timed ~bench ~jobs ~trials f =
     chunks = !chunks;
     worker_seconds;
     overhead_seconds;
+    pool_spawns;
+    pool_reused = jobs > 1 && pool_spawns = 0;
     minor_words_per_trial = minor_words /. float_of_int trials;
     promoted_words_per_trial = promoted_words /. float_of_int trials;
+  }
+
+(* Repeat each sweep [reps] times and report the fastest repetition —
+   the standard defense against co-tenant load spikes on a shared host.
+   Estimates are deterministic, so every repetition computes the same
+   numbers; only the wall clock differs.  [pool_spawns] is summed over
+   the repetitions: a spawn happens at most once per pool level no
+   matter how often the sweep reruns, and folding it in keeps
+   [pool_reused] meaning "this sample never had to spawn". *)
+let timed ?(reps = 1) ~bench ~jobs ~trials f =
+  let first = timed_once ~bench ~jobs ~trials f in
+  let best = ref first in
+  let spawns = ref first.pool_spawns in
+  for _ = 2 to reps do
+    let s = timed_once ~bench ~jobs ~trials f in
+    spawns := !spawns + s.pool_spawns;
+    if s.seconds < !best.seconds then best := s
+  done;
+  {
+    !best with
+    pool_spawns = !spawns;
+    pool_reused = jobs > 1 && !spawns = 0;
   }
 
 let engine_samples ?(quick = false) ~jobs_list () =
@@ -194,15 +232,61 @@ let engine_samples ?(quick = false) ~jobs_list () =
   in
   let hammock_trials = if quick then 6_000 else 60_000 in
   let survival_trials = if quick then 200 else 2_000 in
-  List.concat_map
-    (fun jobs ->
-      [
-        timed ~bench:"hammock-open-prob-8x8" ~jobs ~trials:hammock_trials
-          hammock_sweep;
-        timed ~bench:"survival-benes-16" ~jobs ~trials:survival_trials
-          survival_sweep;
-      ])
-    jobs_list
+  (* Curve pair: one coupled 8-point sweep vs eight independent runs at
+     the same per-point trial budget.  Same seed per point on the
+     independent side, so both paths compute bit-identical estimates —
+     the timing difference is purely the CRN sharing (one draw pass per
+     trial) plus the monotone short-circuit once a trial dies. *)
+  (* log-spaced over the rare-failure regime, where curves need their
+     resolution: at small ε most trials flip no edge classification
+     between neighbouring points, so the coupled sweep skips most of
+     the per-point work that independent runs must repeat *)
+  let curve_eps =
+    Array.init 8 (fun k -> 1e-4 *. ((1e-1 /. 1e-4) ** (float_of_int k /. 7.)))
+  in
+  let curve_sweep ~jobs ~trials ~trace =
+    let rng = Rng.create ~seed:44 in
+    ignore
+      (Ftcsn.Pipeline.survival_curve ~jobs ~trace ~trials ~rng ~eps:curve_eps
+         ~probe:Ftcsn.Pipeline.sc_probe_only benes)
+  in
+  let independent_runs ~jobs ~trials ~trace =
+    let per_point = trials / Array.length curve_eps in
+    Array.iter
+      (fun eps ->
+        let rng = Rng.create ~seed:44 in
+        ignore
+          (Ftcsn.Pipeline.survival ~jobs ~trace ~trials:per_point ~rng ~eps
+             ~probe:Ftcsn.Pipeline.sc_probe_only benes))
+      curve_eps
+  in
+  let reps = if quick then 1 else 3 in
+  (* explicit bindings pin the execution order to the listed order
+     (OCaml evaluates list elements right-to-left), so the first jobs>1
+     sample is the one that pays the pool spawn *)
+  let per_jobs =
+    List.concat_map
+      (fun jobs ->
+        let h =
+          timed ~reps ~bench:"hammock-open-prob-8x8" ~jobs
+            ~trials:hammock_trials hammock_sweep
+        in
+        let s =
+          timed ~reps ~bench:"survival-benes-16" ~jobs ~trials:survival_trials
+            survival_sweep
+        in
+        [ h; s ])
+      jobs_list
+  in
+  let curve =
+    timed ~reps ~bench:"survival-benes-16-curve-8pt" ~jobs:1
+      ~trials:survival_trials curve_sweep
+  in
+  let independent =
+    timed ~reps ~bench:"survival-benes-16-8runs" ~jobs:1
+      ~trials:(8 * survival_trials) independent_runs
+  in
+  per_jobs @ [ curve; independent ]
 
 let write_json path samples =
   let open Ftcsn_obs.Json in
@@ -217,6 +301,8 @@ let write_json path samples =
         ("chunks", Int s.chunks);
         ("worker_seconds", Float s.worker_seconds);
         ("overhead_seconds", Float s.overhead_seconds);
+        ("pool_spawns", Int s.pool_spawns);
+        ("pool_reused", Bool s.pool_reused);
         ("minor_words_per_trial", Float s.minor_words_per_trial);
         ("promoted_words_per_trial", Float s.promoted_words_per_trial);
       ]
@@ -241,10 +327,12 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
     (fun s ->
       Printf.printf
         "%-28s jobs=%d %8d trials  %6.2fs  %10.0f trials/s  (%d chunks, \
-         %.2fs busy, %.2fs overhead, %.1f minor w/trial, %.1f promoted \
-         w/trial)\n"
+         %.2fs busy, %.2fs overhead, %d spawns%s, %.1f minor w/trial, %.1f \
+         promoted w/trial)\n"
         s.bench s.jobs s.trials s.seconds s.rate s.chunks s.worker_seconds
-        s.overhead_seconds s.minor_words_per_trial s.promoted_words_per_trial)
+        s.overhead_seconds s.pool_spawns
+        (if s.pool_reused then " [pool reused]" else "")
+        s.minor_words_per_trial s.promoted_words_per_trial)
     samples;
   (* speedup of the hammock sweep vs jobs=1, the headline number *)
   (match
@@ -256,8 +344,27 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
         (s4.rate /. s1.rate)
         (Domain.recommended_domain_count ())
   | _ -> ());
+  (* coupled-curve speedup: one 8-point sweep vs 8 independent runs at
+     the same per-point trial count (identical estimates either way) *)
+  (match
+     ( List.find_opt (fun s -> s.bench = "survival-benes-16-curve-8pt") samples,
+       List.find_opt (fun s -> s.bench = "survival-benes-16-8runs") samples )
+   with
+  | Some c, Some r ->
+      Printf.printf "survival curve (8pt) vs 8 independent runs: %.2fx faster\n"
+        (r.seconds /. c.seconds)
+  | _ -> ());
   write_json json_path samples;
-  Printf.printf "wrote %s\n\n" json_path
+  Printf.printf "wrote %s\n\n" json_path;
+  (* Regression guard (drives `bench --smoke` in CI): once one jobs>1
+     sweep has run, every later jobs<=that run must reuse the warm pool
+     rather than spawning fresh domains. *)
+  if not (List.exists (fun s -> s.jobs > 1 && s.pool_reused) samples) then begin
+    prerr_endline
+      "bench: FAIL: no jobs>1 sample reused the persistent domain pool \
+       (every parallel sweep spawned fresh domains)";
+    exit 1
+  end
 
 let run () =
   run_engine ();

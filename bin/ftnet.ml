@@ -8,6 +8,7 @@
      check    run property deciders (superconcentrator / rearrangeable /
               nonblocking) on a small network
      survive  Monte-Carlo (eps, delta) survival estimation
+     curve    coupled survival curve over an --eps-grid (CRN sweep)
      degrade  age the network under live traffic and report degradation
      critical rank switches by Birnbaum criticality
      render   DOT or ASCII renderings (grids, stage census)
@@ -70,6 +71,46 @@ let parse_target_ci = function
       | _ ->
           die "invalid --target-ci value %S: expected a half-width in (0, 1)"
             s)
+
+(* --eps-grid LO:HI:STEPS[:log|:lin] — an inclusive ε grid, linearly
+   spaced by default or log-spaced on request.  HI is capped at 0.5
+   because every sweep runs at ε₁ = ε₂ = ε. *)
+let parse_eps_grid = function
+  | None -> None
+  | Some s ->
+      let fail why = die "invalid --eps-grid value %S: %s" s why in
+      let lo_s, hi_s, steps_s, scale =
+        match String.split_on_char ':' s with
+        | [ lo; hi; steps ] | [ lo; hi; steps; "lin" ] -> (lo, hi, steps, `Lin)
+        | [ lo; hi; steps; "log" ] -> (lo, hi, steps, `Log)
+        | [ _; _; _; sc ] ->
+            fail (Printf.sprintf "unknown spacing %S (expected log or lin)" sc)
+        | _ -> fail "expected LO:HI:STEPS[:log|:lin]"
+      in
+      let flt name v =
+        match float_of_string_opt v with
+        | Some x -> x
+        | None -> fail (Printf.sprintf "%s %S is not a number" name v)
+      in
+      let lo = flt "LO" lo_s and hi = flt "HI" hi_s in
+      let steps =
+        match int_of_string_opt steps_s with
+        | Some k when k >= 1 -> k
+        | _ -> fail (Printf.sprintf "STEPS %S must be an integer >= 1" steps_s)
+      in
+      if not (lo >= 0.0 && lo <= hi) then fail "need 0 <= LO <= HI";
+      if hi > 0.5 then fail "need HI <= 0.5 (sweeps run at eps_open = eps_close = eps)";
+      (match scale with
+      | `Log when lo <= 0.0 -> fail "log spacing needs LO > 0"
+      | _ -> ());
+      Some
+        (Array.init steps (fun k ->
+             if steps = 1 then lo
+             else
+               let t = float_of_int k /. float_of_int (steps - 1) in
+               match scale with
+               | `Lin -> lo +. (t *. (hi -. lo))
+               | `Log -> lo *. exp (t *. log (hi /. lo))))
 
 (* ---------- observability ---------- *)
 
@@ -139,6 +180,16 @@ let note_estimate obs name (est : Trials.estimate) =
     (Obs_metrics.counter obs.registry "trials.successes")
     est.Trials.successes
 
+let print_curve_table grid (ests : Trials.estimate array) =
+  Format.printf "  %-12s %-8s %-10s %-10s %s@." "eps" "mean" "ci_low"
+    "ci_high" "successes/trials";
+  Array.iteri
+    (fun k (est : Trials.estimate) ->
+      Format.printf "  %-12g %-8.4f %-10.4f %-10.4f %d/%d@." grid.(k)
+        est.Trials.mean est.Trials.ci_low est.Trials.ci_high
+        est.Trials.successes est.Trials.trials)
+    ests
+
 (* ---------- seed derivation ---------- *)
 
 (* Every stream ftnet ever draws from derives from the user's --seed by a
@@ -161,6 +212,10 @@ module Seeds = struct
   let degrade seed = Rng.create ~seed:(seed + 5)
 
   let critical seed = Rng.create ~seed:(seed + 6)
+
+  (* curve shares survive's stream: a curve point at ε then reproduces
+     `survive --eps ε` with the same --seed bit-for-bit *)
+  let curve seed = Rng.create ~seed:(seed + 4)
 
   let build seed = Rng.create ~seed:(seed + 9) (* diameter sampling *)
 end
@@ -202,6 +257,16 @@ let target_ci_arg =
 
 let trials_arg ~default ~doc =
   Arg.(value & opt int default & info [ "trials" ] ~docv:"T" ~doc)
+
+let eps_grid_arg =
+  let doc =
+    "Sweep a coupled ε-curve over $(docv) = LO:HI:STEPS[:log|:lin] instead \
+     of the single --eps point: every trial draws one uniform per switch \
+     and thresholds that same draw vector at each grid ε (common random \
+     numbers), so the whole curve costs about one run and the points are \
+     positively correlated.  Incompatible with --target-ci."
+  in
+  Arg.(value & opt (some string) None & info [ "eps-grid" ] ~docv:"GRID" ~doc)
 
 let metrics_arg =
   let doc =
@@ -296,9 +361,13 @@ let build_cmd =
 (* ---------- faults ---------- *)
 
 let faults_cmd =
-  let run family n seed eps radius trials jobs target_ci obsargs =
+  let run family n seed eps eps_grid radius trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
     let jobs = check_jobs jobs in
+    let eps_grid = parse_eps_grid eps_grid in
+    if eps_grid <> None && target_ci <> None then
+      die "--eps-grid cannot be combined with --target-ci (a single \
+           half-width target is ill-defined across a curve)";
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
@@ -323,27 +392,62 @@ let faults_cmd =
       (match Ftcsn.Fault_strip.isolated_inputs net strip with
       | [] -> "none"
       | is -> String.concat ", " (List.map string_of_int is));
-    if trials > 1 then begin
-      (* survey mode: estimate how often a fresh pattern leaves a clean
-         survivor (no shorted terminals, no isolated inputs); runs on the
-         Fault_strip workspace, so trials allocate nothing but the
-         isolated-input lists *)
-      let est =
-        phase obs "estimate" (fun () ->
-            Trials.run_scratch ~jobs ?target_ci ?progress:obs.progress
-              ?trace:obs.trace ~label:"faults.survey" ~trials ~rng
-              ~init:(fun () -> Ftcsn.Fault_strip.create_ws net)
-              (fun ws sub ->
-                let pattern = Ftcsn.Fault_strip.ws_pattern ws in
-                Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern;
-                Ftcsn.Fault_strip.strip_into ~radius ws pattern;
-                Ftcsn.Fault_strip.ws_healthy ws
-                && Ftcsn.Fault_strip.ws_isolated_inputs ws = []))
-      in
-      note_estimate obs "faults.clean" est;
-      Format.printf "P[survivor clean] = %a  (%d trials, jobs=%d)@."
-        Monte_carlo.pp est est.Monte_carlo.trials jobs
-    end
+    (match eps_grid with
+    | Some grid ->
+        (* coupled curve survey: one uniform per switch per trial,
+           thresholded at every grid ε (common random numbers); the
+           clean-survivor event reads the closed-edge set, which is not
+           nested in ε, so every point is evaluated *)
+        let ests =
+          phase obs "estimate" (fun () ->
+              Trials.sweep ~jobs ?progress:obs.progress ?trace:obs.trace
+                ~label:"faults.survey_curve" ~trials ~rng
+                ~points:(Array.length grid)
+                ~init:(fun () -> Ftcsn.Fault_strip.create_ws net)
+                (fun ws sub outcomes ->
+                  let uniforms =
+                    Ftcsn_reliability.Scratch.uniforms
+                      (Ftcsn.Fault_strip.ws_scratch ws)
+                  in
+                  let pattern = Ftcsn.Fault_strip.ws_pattern ws in
+                  Fault.sample_uniforms_into sub uniforms;
+                  Array.iteri
+                    (fun k e ->
+                      Fault.classify_into ~uniforms ~eps_open:e ~eps_close:e
+                        pattern;
+                      Ftcsn.Fault_strip.strip_into ~radius ws pattern;
+                      if
+                        Ftcsn.Fault_strip.ws_healthy ws
+                        && Ftcsn.Fault_strip.ws_isolated_inputs ws = []
+                      then Bytes.set outcomes k '\001')
+                    grid))
+        in
+        Format.printf
+          "P[survivor clean] curve (%d coupled trials, jobs=%d):@." trials
+          jobs;
+        print_curve_table grid ests
+    | None ->
+        if trials > 1 then begin
+          (* survey mode: estimate how often a fresh pattern leaves a clean
+             survivor (no shorted terminals, no isolated inputs); runs on the
+             Fault_strip workspace, so trials allocate nothing but the
+             isolated-input lists *)
+          let est =
+            phase obs "estimate" (fun () ->
+                Trials.run_scratch ~jobs ?target_ci ?progress:obs.progress
+                  ?trace:obs.trace ~label:"faults.survey" ~trials ~rng
+                  ~init:(fun () -> Ftcsn.Fault_strip.create_ws net)
+                  (fun ws sub ->
+                    let pattern = Ftcsn.Fault_strip.ws_pattern ws in
+                    Fault.sample_into sub ~eps_open:eps ~eps_close:eps pattern;
+                    Ftcsn.Fault_strip.strip_into ~radius ws pattern;
+                    Ftcsn.Fault_strip.ws_healthy ws
+                    && Ftcsn.Fault_strip.ws_isolated_inputs ws = []))
+          in
+          note_estimate obs "faults.clean" est;
+          Format.printf "P[survivor clean] = %a  (%d trials, jobs=%d)@."
+            Monte_carlo.pp est est.Monte_carlo.trials jobs
+        end)
   in
   let radius =
     Arg.(value & opt int 0 & info [ "radius" ] ~docv:"R"
@@ -358,20 +462,71 @@ let faults_cmd =
   let doc = "Sample a fault pattern and report the stripped survivor." in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ radius $ trials
-      $ jobs_arg $ target_ci_arg $ obs_args)
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
+      $ radius $ trials $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- route ---------- *)
 
 let route_cmd =
-  let run family n seed eps verbose trials jobs target_ci obsargs =
+  let run family n seed eps eps_grid verbose trials jobs target_ci obsargs =
     let trials = check_pos "--trials" trials in
     let jobs = check_jobs jobs in
+    let eps_grid = parse_eps_grid eps_grid in
+    if eps_grid <> None && target_ci <> None then
+      die "--eps-grid cannot be combined with --target-ci (a single \
+           half-width target is ill-defined across a curve)";
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.route seed in
     let n' = min (Network.n_inputs net) (Network.n_outputs net) in
+    match eps_grid with
+    | Some grid ->
+        (* coupled curve survey: shared per-switch draws across the grid;
+           the permutation is drawn once from a copy of the substream
+           taken after the switch draws — the same stream state every
+           single-ε survey trial would hand its permutation draw *)
+        let ests =
+          phase obs "estimate" (fun () ->
+              Trials.sweep ~jobs ?progress:obs.progress ?trace:obs.trace
+                ~label:"route.survey_curve" ~trials ~rng
+                ~points:(Array.length grid)
+                ~init:(fun () ->
+                  let fs = Ftcsn.Fault_strip.create_ws net in
+                  let router =
+                    Ftcsn_routing.Greedy.create
+                      ~allowed:(Ftcsn.Fault_strip.ws_allowed fs)
+                      ~edge_ok:(Ftcsn.Fault_strip.ws_edge_ok fs)
+                      net
+                  in
+                  (fs, router))
+                (fun (fs, router) sub outcomes ->
+                  let uniforms =
+                    Ftcsn_reliability.Scratch.uniforms
+                      (Ftcsn.Fault_strip.ws_scratch fs)
+                  in
+                  let pattern = Ftcsn.Fault_strip.ws_pattern fs in
+                  Fault.sample_uniforms_into sub uniforms;
+                  let pi = Rng.permutation (Rng.copy sub) n' in
+                  Array.iteri
+                    (fun k e ->
+                      Fault.classify_into ~uniforms ~eps_open:e ~eps_close:e
+                        pattern;
+                      Ftcsn.Fault_strip.strip_into fs pattern;
+                      Ftcsn_routing.Greedy.clear router;
+                      let success = ref 0 in
+                      ignore
+                        (Ftcsn_routing.Greedy.route_permutation router pi
+                           ~success);
+                      if !success = n' then Bytes.set outcomes k '\001')
+                    grid))
+        in
+        Format.printf
+          "P[random permutation fully routes] curve (%d coupled trials, \
+           jobs=%d):@."
+          trials jobs;
+        print_curve_table grid ests
+    | None ->
     if trials <= 1 then begin
       let pi = Rng.permutation rng n' in
       let allowed, routing_net =
@@ -450,8 +605,8 @@ let route_cmd =
   let doc = "Greedily route a random permutation, optionally under faults." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ verbose $ trials
-      $ jobs_arg $ target_ci_arg $ obs_args)
+      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
+      $ verbose $ trials $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- check ---------- *)
 
@@ -585,6 +740,90 @@ let survive_cmd =
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials $ jobs_arg
       $ target_ci_arg $ obs_args)
+
+(* ---------- curve ---------- *)
+
+let curve_cmd =
+  let run family n seed eps_grid trials jobs json obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_jobs jobs in
+    let grid =
+      match parse_eps_grid (Some eps_grid) with
+      | Some g -> g
+      | None -> assert false
+    in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let rng = Seeds.curve seed in
+    let ests =
+      phase obs "estimate" (fun () ->
+          Ftcsn.Pipeline.survival_curve ~jobs ?progress:obs.progress
+            ?trace:obs.trace ~trials ~rng ~eps:grid
+            ~probe:Ftcsn.Pipeline.sc_probe_only net)
+    in
+    if json then begin
+      let point k (est : Trials.estimate) =
+        Obs_json.Obj
+          [
+            ("eps", Obs_json.Float grid.(k));
+            ("mean", Obs_json.Float est.Trials.mean);
+            ("ci_low", Obs_json.Float est.Trials.ci_low);
+            ("ci_high", Obs_json.Float est.Trials.ci_high);
+            ("successes", Obs_json.Int est.Trials.successes);
+            ("trials", Obs_json.Int est.Trials.trials);
+          ]
+      in
+      print_endline
+        (Obs_json.to_string
+           (Obs_json.Obj
+              [
+                ("inputs", Obs_json.Int (Network.n_inputs net));
+                ("outputs", Obs_json.Int (Network.n_outputs net));
+                ("switches", Obs_json.Int (Network.size net));
+                ("trials", Obs_json.Int trials);
+                ("probe", Obs_json.String "sc_probe_only");
+                ( "curve",
+                  Obs_json.List (Array.to_list (Array.mapi point ests)) );
+              ]))
+    end
+    else begin
+      Format.printf "%a@." Network.pp net;
+      Format.printf
+        "survival curve (superconcentrator probes, %d coupled trials, \
+         jobs=%d):@."
+        trials jobs;
+      print_curve_table grid ests
+    end
+  in
+  let eps_grid =
+    let doc =
+      "ε grid LO:HI:STEPS[:log|:lin] for the sweep (inclusive; lin-spaced \
+       by default, log-spaced with :log)."
+    in
+    Arg.(
+      value
+      & opt string "0.001:0.1:8:log"
+      & info [ "eps-grid" ] ~docv:"GRID" ~doc)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the curve as one JSON object instead of a table.")
+  in
+  let trials =
+    trials_arg ~default:200 ~doc:"Coupled Monte-Carlo trials (shared by every grid point)."
+  in
+  let doc =
+    "Survival-probability curve over an ε grid via one coupled sweep \
+     (common random numbers: every grid point shares each trial's \
+     per-switch draws, so the curve costs about one run and each point \
+     is bit-identical to an independent survive run at that ε)."
+  in
+  Cmd.v (Cmd.info "curve" ~doc)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ eps_grid $ trials
+      $ jobs_arg $ json $ obs_args)
 
 (* ---------- degrade ---------- *)
 
@@ -729,5 +968,5 @@ let () =
        (Cmd.group info
           [
             build_cmd; faults_cmd; route_cmd; check_cmd; survive_cmd;
-            degrade_cmd; critical_cmd; render_cmd;
+            curve_cmd; degrade_cmd; critical_cmd; render_cmd;
           ]))

@@ -110,4 +110,38 @@ val survival :
     workspace per worker domain); estimates are bit-identical to the
     legacy {!trial} loop. *)
 
+val survival_curve :
+  ?jobs:int ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  eps:float array ->
+  ?strip_radius:int ->
+  ?probe:probe ->
+  Ftcsn_networks.Network.t ->
+  Ftcsn_reliability.Monte_carlo.estimate array
+(** Coupled survival curve over an ε grid in one fan-out of [trials]
+    trials (common random numbers, {!Ftcsn_sim.Trials.sweep}).  Each
+    trial draws one uniform per edge, thresholds that draw vector at
+    every grid point, and probes each resulting survivor with a fresh
+    copy of the trial substream — exactly the stream an independent
+    {!survival} run at that ε would use — so {e every point of the
+    curve is bit-identical to an independent [survival] run} at that ε
+    with the same [rng] state and [trials] (no [target_ci]), while the
+    whole curve costs roughly one run's sampling plus the un-skippable
+    probing.
+
+    On a nondecreasing grid the nested-fault-set structure makes
+    [Isolated] (always) and flow-probe [Unroutable] (when [probe] has
+    only [sc_probes]) persist at every later point, so trials
+    short-circuit their remaining points once such a verdict occurs —
+    identical results, a fraction of the probe work.  [Shorted] and
+    non-flow probes are re-evaluated at every point (not monotone).
+
+    Estimates across the curve are positively correlated — ideal for
+    reading off threshold locations and curve differences (Raginsky-
+    style phase-transition plots) at far lower variance than pointwise
+    independent runs. *)
+
 val verdict_label : verdict -> string

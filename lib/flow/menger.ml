@@ -124,8 +124,7 @@ module Workspace = struct
     in
     { net; n; super_source; super_sink; split_arcs; edge_arcs; source_arcs; sink_arcs }
 
-  let max_vertex_disjoint ?(forbidden = fun _ -> false)
-      ?(edge_ok = fun _ -> true) t ~source_slots ~sink_slots =
+  let arm ~forbidden ~edge_ok t ~source_slots ~sink_slots =
     for v = 0 to t.n - 1 do
       Maxflow.set_cap t.net t.split_arcs.(v) (if forbidden v then 0 else 1)
     done;
@@ -139,6 +138,36 @@ module Workspace = struct
       source_slots;
     Array.iter
       (fun slot -> Maxflow.set_cap t.net t.sink_arcs.(slot) 1)
-      sink_slots;
+      sink_slots
+
+  let max_vertex_disjoint ?(forbidden = fun _ -> false)
+      ?(edge_ok = fun _ -> true) t ~source_slots ~sink_slots =
+    arm ~forbidden ~edge_ok t ~source_slots ~sink_slots;
     Maxflow.max_flow t.net ~source:t.super_source ~sink:t.super_sink
+
+  let max_vertex_disjoint_cert ?(forbidden = fun _ -> false)
+      ?(edge_ok = fun _ -> true) t ~source_slots ~sink_slots ~used_vertices
+      ~used_edges =
+    arm ~forbidden ~edge_ok t ~source_slots ~sink_slots;
+    let value =
+      Maxflow.max_flow t.net ~source:t.super_source ~sink:t.super_sink
+    in
+    (* Read the certificate off the unit flow: a vertex is on some path
+       iff its split arc carries flow, an edge iff its arc does. *)
+    let nv = ref 0 in
+    for v = 0 to t.n - 1 do
+      if Maxflow.flow_on t.net t.split_arcs.(v) > 0 then begin
+        used_vertices.(!nv) <- v;
+        incr nv
+      end
+    done;
+    let ne = ref 0 in
+    Array.iteri
+      (fun e a ->
+        if Maxflow.flow_on t.net a > 0 then begin
+          used_edges.(!ne) <- e;
+          incr ne
+        end)
+      t.edge_arcs;
+    (value, !nv, !ne)
 end

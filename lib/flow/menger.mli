@@ -62,4 +62,26 @@ module Workspace : sig
       [source_slots] (positions in the creation-time [sources]) to the
       sinks at [sink_slots], avoiding [forbidden] vertices and edges with
       [edge_ok eid = false].  Allocation-free. *)
+
+  val max_vertex_disjoint_cert :
+    ?forbidden:(int -> bool) ->
+    ?edge_ok:(int -> bool) ->
+    t ->
+    source_slots:int array ->
+    sink_slots:int array ->
+    used_vertices:int array ->
+    used_edges:int array ->
+    int * int * int
+  (** Same value as {!max_vertex_disjoint}, and additionally writes the
+      path certificate of the computed flow — the graph vertices and
+      edge ids carrying a flow unit — into the prefixes of
+      [used_vertices] / [used_edges] (each must hold at least the graph's
+      vertex count; a unit flow uses at most one out-edge per used
+      vertex).  Returns [(value, used_vertex_count, used_edge_count)].
+
+      The certificate is a family of [value] vertex-disjoint paths, so a
+      caller holding a full-success certificate ([value] = number of
+      armed source slots) may skip a later query with the {e same} slot
+      sets whenever every recorded vertex and edge is still unmasked:
+      the paths remain feasible, hence the answer is again [value]. *)
 end

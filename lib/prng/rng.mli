@@ -30,6 +30,12 @@ val advance : t -> int -> unit
     state a sequential split-per-trial loop would have left it. *)
 
 val copy : t -> t
+(** Snapshot of the stream state.  Draws from the copy are bit-identical
+    to the draws the original would have produced from this point, and
+    leave the original untouched — the common-random-numbers curve path
+    relies on this: after a trial's per-edge draws, each ε grid point
+    probes on its own [copy] of the substream, so every point sees the
+    exact stream an independent single-ε run would have seen. *)
 
 val int64 : t -> int64
 (** Uniform raw 64-bit value. *)

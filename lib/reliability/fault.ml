@@ -18,9 +18,12 @@ let pp_state ppf = function
   | Open_failure -> Format.pp_print_string ppf "open"
   | Closed_failure -> Format.pp_print_string ppf "closed"
 
-let sample_into rng ~eps_open ~eps_close pattern =
+let check_probabilities ~eps_open ~eps_close =
   if eps_open < 0.0 || eps_close < 0.0 || eps_open +. eps_close > 1.0 then
-    invalid_arg "Fault.sample: bad probabilities";
+    invalid_arg "Fault.sample: bad probabilities"
+
+let sample_into rng ~eps_open ~eps_close pattern =
+  check_probabilities ~eps_open ~eps_close;
   let threshold = eps_open +. eps_close in
   for e = 0 to Array.length pattern - 1 do
     let u = Rng.float rng in
@@ -29,6 +32,44 @@ let sample_into rng ~eps_open ~eps_close pattern =
        else if u < threshold then Closed_failure
        else Normal)
   done
+
+let sample_uniforms_into rng uniforms =
+  for e = 0 to Array.length uniforms - 1 do
+    uniforms.(e) <- Rng.float rng
+  done
+
+let classify_into ~uniforms ~eps_open ~eps_close pattern =
+  check_probabilities ~eps_open ~eps_close;
+  if Array.length uniforms <> Array.length pattern then
+    invalid_arg "Fault.classify_into: uniforms/pattern length mismatch";
+  let threshold = eps_open +. eps_close in
+  for e = 0 to Array.length pattern - 1 do
+    let u = Array.unsafe_get uniforms e in
+    Array.unsafe_set pattern e
+      (if u < eps_open then Open_failure
+       else if u < threshold then Closed_failure
+       else Normal)
+  done
+
+let classify_into_changed ~uniforms ~eps_open ~eps_close pattern =
+  check_probabilities ~eps_open ~eps_close;
+  if Array.length uniforms <> Array.length pattern then
+    invalid_arg "Fault.classify_into_changed: uniforms/pattern length mismatch";
+  let threshold = eps_open +. eps_close in
+  let changed = ref false in
+  for e = 0 to Array.length pattern - 1 do
+    let u = Array.unsafe_get uniforms e in
+    let s =
+      if u < eps_open then Open_failure
+      else if u < threshold then Closed_failure
+      else Normal
+    in
+    if not (state_equal (Array.unsafe_get pattern e) s) then begin
+      Array.unsafe_set pattern e s;
+      changed := true
+    end
+  done;
+  !changed
 
 let sample rng ~eps_open ~eps_close ~m =
   let pattern = Array.make m Normal in

@@ -29,6 +29,34 @@ val sample_into :
     zero-allocation inner loop used by the {!Ftcsn_sim.Trials} scratch
     buffers. *)
 
+val sample_uniforms_into : Ftcsn_prng.Rng.t -> float array -> unit
+(** Draw one uniform per cell in ascending index order into a
+    caller-owned buffer (length [edge_count]).  Consumes the stream
+    exactly as {!sample_into} does, so
+    [sample_into rng ~eps_open ~eps_close p] is equivalent to
+    [sample_uniforms_into rng u; classify_into ~uniforms:u ~eps_open
+    ~eps_close p] on equal streams — the common-random-numbers (CRN)
+    decomposition behind the ε-curve sweep path. *)
+
+val classify_into :
+  uniforms:float array -> eps_open:float -> eps_close:float -> pattern -> unit
+(** Threshold a stored draw vector into a fault pattern:
+    [u < eps_open] ⇒ [Open_failure], [u < eps_open +. eps_close] ⇒
+    [Closed_failure], else [Normal] — the same thresholds, in the same
+    order, as {!sample_into}.  Calling this at several (ε₁, ε₂) grid
+    points over one [uniforms] vector yields coupled patterns whose
+    non-normal edge sets are nested as ε₁ + ε₂ grows.  Requires
+    [eps_open + eps_close <= 1] and equal lengths. *)
+
+val classify_into_changed :
+  uniforms:float array -> eps_open:float -> eps_close:float -> pattern -> bool
+(** As {!classify_into}, but additionally reports whether any entry of
+    [pattern] changed.  [false] means the buffer already held exactly
+    the classification of [uniforms] at these thresholds — on a CRN
+    ε-grid walk, every pattern-derived result (stripping, probes on a
+    fixed RNG state) is then necessarily identical to the previous
+    point's and can be reused without re-evaluation. *)
+
 val all_normal : int -> pattern
 
 val count : pattern -> state -> int

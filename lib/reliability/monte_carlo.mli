@@ -75,4 +75,39 @@ val estimate_event_scratch :
     ({!Scratch.pattern} is the freshly sampled pattern).  Draw order and
     estimates are identical to {!estimate_event}. *)
 
+val estimate_curve :
+  ?jobs:int ->
+  ?progress:(Ftcsn_sim.Trials.progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
+  ?monotone_event:bool ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  graph:Ftcsn_graph.Digraph.t ->
+  grid:(float * float) array ->
+  (Scratch.t -> bool) ->
+  estimate array
+(** Coupled ε-curve: one estimate per [(eps_open, eps_close)] grid point,
+    all sharing the same [trials] executions.  Each trial draws one
+    uniform per edge ({!Fault.sample_uniforms_into} into the workspace's
+    {!Scratch.uniforms}), then thresholds that same draw vector at every
+    grid point ({!Fault.classify_into}) — common random numbers, so the
+    per-trial event indicators are coupled across the curve and curve
+    differences have far lower variance than independent runs.  The
+    event sees the freshly classified {!Scratch.pattern} exactly as
+    {!estimate_event_scratch} would: on a 1-point grid the estimate is
+    bit-identical to [estimate_event_scratch] with the same arguments
+    (same draws, same thresholds, same engine).
+
+    [monotone_event:true] asserts the event is nondecreasing along the
+    grid order within every trial (true e.g. for open-connectivity
+    failure on a grid sorted by ascending [eps_open] with [eps_close]
+    fixed at 0, where the usable-edge set only shrinks); once a trial's
+    indicator turns true, later points are recorded true without
+    re-evaluating — a pure short-circuit, identical results by the
+    asserted monotonicity.  Default [false].
+
+    No adaptive stopping; deterministic at every [jobs], tracing
+    observational, [label] defaults to ["monte_carlo.curve"]. *)
+
 val pp : Format.formatter -> estimate -> unit

@@ -1,5 +1,6 @@
 module Digraph = Ftcsn_graph.Digraph
 module Union_find = Ftcsn_util.Union_find
+module Bitset = Ftcsn_util.Bitset
 module Metrics = Ftcsn_obs.Metrics
 
 (* One workspace is created per worker domain (via Trials.run_scratch's
@@ -12,6 +13,8 @@ let c_create = Metrics.counter Metrics.default "scratch.create"
 type t = {
   graph : Digraph.t;
   pattern : Fault.pattern;
+  uniforms : float array;
+  faulty : Bitset.t;
   uf : Union_find.t;
   queue : int array;
   dist : int array;
@@ -28,6 +31,8 @@ let create graph =
   {
     graph;
     pattern = Fault.all_normal m;
+    uniforms = Array.make m 0.0;
+    faulty = Bitset.create n;
     uf = Union_find.create n;
     queue = Array.make n 0;
     dist = Array.make n (-1);
@@ -40,6 +45,10 @@ let create graph =
 let graph t = t.graph
 
 let pattern t = t.pattern
+
+let uniforms t = t.uniforms
+
+let faulty t = t.faulty
 
 let next_generation t =
   (* generation 0 is the array fill value, so the first bump must skip

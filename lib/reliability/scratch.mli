@@ -27,6 +27,14 @@ type t = {
   graph : Ftcsn_graph.Digraph.t;  (** the graph all trials run over *)
   pattern : Fault.pattern;
       (** per-trial fault pattern buffer, length [edge_count graph] *)
+  uniforms : float array;
+      (** per-trial CRN draw buffer, length [edge_count graph]: one
+          uniform per edge ({!Fault.sample_uniforms_into}), thresholded
+          into [pattern] at each ε-grid point by
+          {!Fault.classify_into} *)
+  faulty : Ftcsn_util.Bitset.t;
+      (** faulty-vertex buffer, capacity [vertex_count graph] (refill
+          with {!Fault.faulty_vertices_into}) *)
   uf : Ftcsn_util.Union_find.t;
       (** contraction classes; reset at the start of each use *)
   queue : int array;  (** BFS ring buffer, length [vertex_count graph] *)
@@ -49,6 +57,14 @@ val graph : t -> Ftcsn_graph.Digraph.t
 val pattern : t -> Fault.pattern
 (** The workspace's own fault-pattern buffer (refill it with
     {!Fault.sample_into}). *)
+
+val uniforms : t -> float array
+(** The workspace's own CRN draw buffer (refill it with
+    {!Fault.sample_uniforms_into}). *)
+
+val faulty : t -> Ftcsn_util.Bitset.t
+(** The workspace's own faulty-vertex bitset (refill it with
+    {!Fault.faulty_vertices_into}). *)
 
 val next_generation : t -> int
 (** Bump and return the marking generation — an O(1) clear of [mark]. *)

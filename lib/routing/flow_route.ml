@@ -31,3 +31,9 @@ let create_ws net =
 let max_throughput_ws ?forbidden ?edge_ok ws ~input_indices ~output_indices =
   Menger.Workspace.max_vertex_disjoint ?forbidden ?edge_ok ws
     ~source_slots:input_indices ~sink_slots:output_indices
+
+let max_throughput_cert_ws ?forbidden ?edge_ok ws ~input_indices
+    ~output_indices ~used_vertices ~used_edges =
+  Menger.Workspace.max_vertex_disjoint_cert ?forbidden ?edge_ok ws
+    ~source_slots:input_indices ~sink_slots:output_indices ~used_vertices
+    ~used_edges

@@ -39,3 +39,22 @@ val max_throughput_ws :
 (** {!max_throughput} without per-call construction: same value as the
     allocating variant on the graph restricted to [edge_ok] edges and
     non-[forbidden] vertices. *)
+
+val max_throughput_cert_ws :
+  ?forbidden:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  ws ->
+  input_indices:int array ->
+  output_indices:int array ->
+  used_vertices:int array ->
+  used_edges:int array ->
+  int * int * int
+(** {!max_throughput_ws} that also extracts the disjoint-path
+    certificate (see {!Ftcsn_flow.Menger.Workspace.max_vertex_disjoint_cert}):
+    the vertices and edge ids carrying flow are written to the prefixes
+    of [used_vertices] / [used_edges] (size ≥ the graph's vertex count)
+    and the result is [(value, used_vertex_count, used_edge_count)].
+    While every recorded vertex and edge stays unmasked, a repeat query
+    with the same index sets provably returns the same full value —
+    CRN ε-sweeps use this to skip re-probing between nearby grid
+    points. *)

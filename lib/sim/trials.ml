@@ -37,11 +37,149 @@ let default_chunk = 256
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* ---------- persistent domain pool ----------
+
+   Per-round [Domain.spawn]/[Domain.join] costs milliseconds per chunk
+   round; on short runs that overhead dominates and makes jobs>1 a
+   measured slowdown (see BENCH_timings.json).  Instead, worker domains
+   are created lazily on first parallel use, parked on a condition
+   variable between batches, and reused for every subsequent run in the
+   process.  The pool only changes *where* a chunk executes — chunk
+   boundaries, PRNG substream indexing and consumption order are decided
+   by [exec] exactly as before — so every estimate stays bit-identical
+   to the spawn-per-round engine ([pool_enabled := false] keeps that
+   path alive for A/B tests).
+
+   Publication safety: a task writes its result slot on a worker domain,
+   then decrements the batch counter under the batch mutex (release);
+   the scheduler observes the zero under the same mutex (acquire) before
+   reading the slots. *)
+
+module Pool = struct
+  let c_spawns = Ftcsn_obs.Metrics.counter Ftcsn_obs.Metrics.default "trials.pool.spawns"
+
+  type t = {
+    m : Mutex.t;
+    work : Condition.t;  (* signalled when tasks arrive or at shutdown *)
+    queue : (unit -> unit) Queue.t;
+    mutable size : int;  (* worker domains spawned so far *)
+    mutable shutdown : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let pool =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      size = 0;
+      shutdown = false;
+      domains = [];
+    }
+
+  let rec worker_loop () =
+    Mutex.lock pool.m;
+    let rec next () =
+      if pool.shutdown then None
+      else
+        match Queue.take_opt pool.queue with
+        | Some _ as t -> t
+        | None ->
+            Condition.wait pool.work pool.m;
+            next ()
+    in
+    match next () with
+    | None -> Mutex.unlock pool.m
+    | Some task ->
+        Mutex.unlock pool.m;
+        (* tasks carry their own exception handling; a raise here would
+           kill the worker for the rest of the process *)
+        (try task () with _ -> ());
+        worker_loop ()
+
+  let teardown () =
+    Mutex.lock pool.m;
+    pool.shutdown <- true;
+    Condition.broadcast pool.work;
+    let ds = pool.domains in
+    pool.domains <- [];
+    Mutex.unlock pool.m;
+    List.iter Domain.join ds
+
+  let registered = Atomic.make false
+
+  let ensure n =
+    if Atomic.compare_and_set registered false true then at_exit teardown;
+    Mutex.lock pool.m;
+    while pool.size < n && not pool.shutdown do
+      pool.size <- pool.size + 1;
+      Ftcsn_obs.Counter.incr c_spawns;
+      pool.domains <- Domain.spawn worker_loop :: pool.domains
+    done;
+    Mutex.unlock pool.m
+
+  type batch = {
+    bm : Mutex.t;
+    finished : Condition.t;
+    mutable remaining : int;
+  }
+
+  let submit tasks =
+    let b =
+      {
+        bm = Mutex.create ();
+        finished = Condition.create ();
+        remaining = Array.length tasks;
+      }
+    in
+    let wrap task () =
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock b.bm;
+          b.remaining <- b.remaining - 1;
+          if b.remaining = 0 then Condition.signal b.finished;
+          Mutex.unlock b.bm)
+        task
+    in
+    Mutex.lock pool.m;
+    Array.iter
+      (fun task ->
+        Queue.add (wrap task) pool.queue;
+        Condition.signal pool.work)
+      tasks;
+    Mutex.unlock pool.m;
+    b
+
+  (* Help-draining wait: before parking, the scheduler runs any still-
+     queued tasks itself.  This keeps undersized pools (fewer workers
+     than queued tasks, e.g. after an exception killed none but the
+     machine is 1-core) deadlock-free and productive: every submitted
+     task is guaranteed to execute on *some* domain. *)
+  let await b =
+    let rec drain () =
+      Mutex.lock pool.m;
+      match Queue.take_opt pool.queue with
+      | Some task ->
+          Mutex.unlock pool.m;
+          task ();
+          drain ()
+      | None -> Mutex.unlock pool.m
+    in
+    drain ();
+    Mutex.lock b.bm;
+    while b.remaining > 0 do
+      Condition.wait b.finished b.bm
+    done;
+    Mutex.unlock b.bm
+end
+
+let pool_enabled = ref true
+
 (* The scheduler: trial [i] always runs on [Rng.substream root i], so its
    outcome is a pure function of (root seed, i) and the partition of the
    index space into chunks/domains cannot affect any result.  Chunks are
    dispatched in rounds of [jobs] (one chunk stays on the calling domain,
-   the rest go to fresh domains), then consumed strictly in index order;
+   the rest go to pool workers), then consumed strictly in index order;
    a [`Stop] verdict discards every later chunk, including ones another
    domain already computed, so adaptive stopping is also scheduling-
    independent.  Returns the number of trials actually consumed. *)
@@ -62,14 +200,27 @@ let exec ~jobs ~chunk ~cap ~run_chunk ~consume =
       accs.(0) <- Some (run_chunk ~lo ~hi)
     end
     else begin
-      let workers =
-        Array.init (batch - 1) (fun k ->
-            let lo, hi = bounds (!c + k + 1) in
-            Domain.spawn (fun () -> run_chunk ~lo ~hi))
+      let c0 = !c in
+      let fail = Atomic.make None in
+      let task k () =
+        let lo, hi = bounds (c0 + k) in
+        match run_chunk ~lo ~hi with
+        | r -> accs.(k) <- Some r
+        | exception e -> Atomic.set fail (Some e)
       in
-      let lo, hi = bounds !c in
-      accs.(0) <- Some (run_chunk ~lo ~hi);
-      Array.iteri (fun k d -> accs.(k + 1) <- Some (Domain.join d)) workers
+      let tasks = Array.init (batch - 1) (fun k -> task (k + 1)) in
+      if !pool_enabled then begin
+        Pool.ensure (jobs - 1);
+        let b = Pool.submit tasks in
+        task 0 ();
+        Pool.await b
+      end
+      else begin
+        let workers = Array.map Domain.spawn tasks in
+        task 0 ();
+        Array.iter Domain.join workers
+      end;
+      match Atomic.get fail with Some e -> raise e | None -> ()
     end;
     Array.iteri
       (fun k acc ->
@@ -192,6 +343,56 @@ let run ?jobs ?chunk ?target_ci ?min_trials ?progress ?trace ?label ~trials
     ~trials ~rng
     ~init:(fun () -> ())
     (fun () sub -> f sub)
+
+let sweep ?(jobs = 1) ?(chunk = default_chunk) ?progress ?trace
+    ?(label = "trials.sweep") ~trials:cap ~rng ~points ~init f =
+  if points < 1 then invalid_arg "Trials.sweep: points must be >= 1";
+  let root = Rng.copy rng in
+  let totals = Array.make points 0 in
+  let t0 = Unix.gettimeofday () in
+  let tr =
+    tracer_start trace ~label ~cap ~chunk ~jobs ~target_ci:None ~min_trials:0
+  in
+  let run_chunk ~lo ~hi =
+    let scratch = init () in
+    let outcomes = Bytes.make points '\000' in
+    let counts = Array.make points 0 in
+    for i = lo to hi - 1 do
+      Bytes.fill outcomes 0 points '\000';
+      f scratch (Rng.substream root i) outcomes;
+      for k = 0 to points - 1 do
+        if Bytes.unsafe_get outcomes k <> '\000' then
+          counts.(k) <- counts.(k) + 1
+      done
+    done;
+    counts
+  in
+  let consume (counts, elapsed_ns, domain) ~lo ~hi =
+    for k = 0 to points - 1 do
+      totals.(k) <- totals.(k) + counts.(k)
+    done;
+    tracer_chunk tr ~lo ~hi ~domain ~elapsed_ns ~successes:None;
+    (match progress with
+    | None -> ()
+    | Some cb ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        cb
+          {
+            completed = hi;
+            cap;
+            successes = totals.(0);
+            elapsed;
+            rate = (if elapsed > 0.0 then float_of_int hi /. elapsed else 0.0);
+            jobs;
+          });
+    `Continue
+  in
+  let executed =
+    exec ~jobs ~chunk ~cap ~run_chunk:(timed_chunk tr run_chunk) ~consume
+  in
+  tracer_end tr ~executed ~successes:None;
+  Rng.advance rng executed;
+  Array.map (fun s -> of_counts ~successes:s ~trials:executed) totals
 
 let map_reduce ?(jobs = 1) ?(chunk = default_chunk) ?trace
     ?(label = "trials.map_reduce") ~trials:cap ~rng ~init ~create_acc ~trial

@@ -24,11 +24,22 @@
 
     {2 Parallel execution}
 
-    [jobs] > 1 fans chunks of trials out with [Domain.spawn] (OCaml 5
-    map-reduce; no dependencies).  Trial functions must therefore be safe
-    to run concurrently: they may freely read shared immutable data (the
-    network under test) but must keep all mutable state in the per-chunk
-    [scratch] created by [init], which is never shared between domains.
+    [jobs] > 1 fans chunks of trials out to a persistent, lazily-created
+    domain pool (OCaml 5 map-reduce; no dependencies).  Worker domains
+    are spawned on first parallel use — never more than the largest
+    [jobs - 1] requested so far — parked on a condition variable between
+    batches, reused for every subsequent run in the process, and joined
+    by an [at_exit] hook.  The pool only decides {e where} a chunk
+    executes; chunk boundaries, PRNG substream indexing and consumption
+    order are fixed by the scheduler, so every estimate is bit-identical
+    to the historical spawn-per-round engine (and [pool_enabled] keeps
+    that engine available for A/B verification).  Spawns are counted in
+    [Ftcsn_obs.Metrics.default] under [trials.pool.spawns]: a healthy
+    multi-run process shows the counter frozen at [jobs - 1] while work
+    keeps flowing.  Trial functions must be safe to run concurrently:
+    they may freely read shared immutable data (the network under test)
+    but must keep all mutable state in the per-chunk [scratch] created by
+    [init], which is never shared between domains.
 
     {2 Observability}
 
@@ -81,6 +92,12 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible [~jobs] for "use
     the whole machine". *)
 
+val pool_enabled : bool ref
+(** When [true] (the default), parallel rounds execute on the persistent
+    domain pool; when [false], every round spawns and joins fresh
+    domains, reproducing the pre-pool engine exactly.  An A/B switch for
+    tests and benchmarks — results are bit-identical either way. *)
+
 val run :
   ?jobs:int ->
   ?chunk:int ->
@@ -124,6 +141,37 @@ val run_scratch :
     chunk's trials — the hook for zero-allocation inner loops (reusable
     fault-pattern buffers, bitsets, …).  Trials must not retain the
     scratch beyond their own call. *)
+
+val sweep :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(progress -> unit) ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  points:int ->
+  init:(unit -> 'scratch) ->
+  ('scratch -> Ftcsn_prng.Rng.t -> Bytes.t -> unit) ->
+  estimate array
+(** Coupled multi-point estimation over one fan-out of trials — the
+    engine under the common-random-numbers ε-curve sweeps.  Each trial
+    receives its substream once and an [outcomes] byte buffer of length
+    [points], pre-zeroed; it sets byte [k] non-zero iff the Bernoulli
+    event holds at grid point [k].  Because all [points] outcomes of a
+    trial derive from one substream, the returned [points] estimates are
+    positively correlated (curve differences have far lower variance
+    than independent runs) and cost one sampling pass instead of
+    [points].  Returns one {!estimate} per grid point, all over the same
+    [trials] executions.
+
+    Determinism is inherited from the scheduler: results are
+    bit-identical at every [jobs] and with tracing on or off, and a
+    1-point sweep whose trial sets byte 0 to the event indicator matches
+    {!run_scratch} of the same event count-for-count.  No adaptive
+    stopping (a single half-width target is ill-defined across a curve);
+    [progress.successes] reports grid point 0.  Traced [Chunk] events
+    carry no success counts. *)
 
 val map_reduce :
   ?jobs:int ->

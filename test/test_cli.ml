@@ -263,6 +263,79 @@ let test_error_unwritable_trace () =
     "faults --family benes -n 8 --trace /nonexistent/t.jsonl"
     "cannot open --trace"
 
+(* ---------- ε-grid curves ---------- *)
+
+let test_curve () =
+  let code, out = run "curve --family benes -n 8 --seed 4 --trials 60" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "curve" out "survival curve (superconcentrator probes";
+  check_contains "curve" out "60 coupled trials";
+  check_contains "curve" out "eps          mean     ci_low     ci_high";
+  (* default grid is 0.001..0.1 log-spaced, 8 points *)
+  check_contains "curve" out "0.001 ";
+  check_contains "curve" out "0.1 ";
+  check_contains "curve" out "/60"
+
+let test_curve_json () =
+  let code, out =
+    run "curve --family benes -n 8 --seed 4 --trials 40 --eps-grid \
+         0.01:0.1:3 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "curve json" out "\"probe\":\"sc_probe_only\"";
+  check_contains "curve json" out "\"curve\":[{\"eps\":0.01,";
+  check_contains "curve json" out "\"trials\":40"
+
+let test_curve_jobs_deterministic () =
+  (* compare only the per-point estimate rows: the header names the jobs
+     count and a warning may mention the core count *)
+  let go jobs =
+    let code, out =
+      run
+        (Printf.sprintf
+           "curve --family benes -n 8 --seed 4 --trials 80 --jobs %d" jobs)
+    in
+    Alcotest.(check int) "exit code" 0 code;
+    String.concat "\n"
+      (List.filter (fun l -> contains l "/80") (String.split_on_char '\n' out))
+  in
+  let rows = go 1 in
+  Alcotest.(check bool) "has estimate rows" true (String.length rows > 0);
+  Alcotest.(check string) "curve identical at jobs 1 vs 4" rows (go 4)
+
+let test_faults_eps_grid () =
+  let code, out =
+    run "faults --family benes -n 8 --eps-grid 0.01:0.1:3 --trials 50 --seed 2"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "faults grid" out "P[survivor clean] curve (50 coupled trials";
+  check_contains "faults grid" out "0.055 "
+
+let test_route_eps_grid () =
+  let code, out =
+    run "route --family benes -n 8 --eps-grid 0.01:0.1:3 --trials 30 --seed 2"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "route grid" out
+    "P[random permutation fully routes] curve (30 coupled trials"
+
+let test_error_eps_grid_malformed () =
+  check_usage_error "eps-grid bad" "curve --family benes -n 8 --eps-grid bad"
+    "expected LO:HI:STEPS[:log|:lin]";
+  check_usage_error "eps-grid spacing"
+    "curve --family benes -n 8 --eps-grid 0.01:0.1:3:cubic" "unknown spacing"
+
+let test_error_eps_grid_range () =
+  check_usage_error "eps-grid hi too large"
+    "faults --family benes -n 8 --eps-grid 0.2:0.6:3" "need HI <= 0.5";
+  check_usage_error "eps-grid log zero"
+    "curve --family benes -n 8 --eps-grid 0:0.1:3:log" "log spacing needs LO > 0"
+
+let test_error_eps_grid_with_target_ci () =
+  check_usage_error "eps-grid + target-ci"
+    "faults --family benes -n 8 --eps-grid 0.01:0.1:3 --target-ci 0.05"
+    "--eps-grid cannot be combined with --target-ci"
+
 let test_help () =
   let code, out = run "--help=plain" in
   Alcotest.(check int) "exit code" 0 code;
@@ -270,8 +343,8 @@ let test_help () =
   List.iter
     (fun sub -> check_contains "help lists subcommand" out sub)
     [
-      "build"; "faults"; "route"; "check"; "survive"; "degrade"; "critical";
-      "render";
+      "build"; "faults"; "route"; "check"; "survive"; "curve"; "degrade";
+      "critical"; "render";
     ]
 
 let () =
@@ -288,6 +361,12 @@ let () =
           Alcotest.test_case "check benes" `Slow test_check;
           Alcotest.test_case "check crossbar" `Quick test_check_crossbar;
           Alcotest.test_case "survive" `Quick test_survive;
+          Alcotest.test_case "curve" `Quick test_curve;
+          Alcotest.test_case "curve json" `Quick test_curve_json;
+          Alcotest.test_case "curve deterministic across jobs" `Quick
+            test_curve_jobs_deterministic;
+          Alcotest.test_case "faults eps-grid" `Quick test_faults_eps_grid;
+          Alcotest.test_case "route eps-grid" `Quick test_route_eps_grid;
           Alcotest.test_case "degrade" `Quick test_degrade;
           Alcotest.test_case "critical" `Quick test_critical;
           Alcotest.test_case "render grid" `Quick test_render_grid;
@@ -317,5 +396,11 @@ let () =
             test_error_unwritable_metrics;
           Alcotest.test_case "unwritable trace path" `Quick
             test_error_unwritable_trace;
+          Alcotest.test_case "eps-grid malformed" `Quick
+            test_error_eps_grid_malformed;
+          Alcotest.test_case "eps-grid out of range" `Quick
+            test_error_eps_grid_range;
+          Alcotest.test_case "eps-grid with target-ci" `Quick
+            test_error_eps_grid_with_target_ci;
         ] );
     ]

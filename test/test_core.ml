@@ -523,6 +523,47 @@ let test_pipeline_probe_presets () =
   check "rearrangeable uses exact" 1
     Pipeline.rearrangeable_probe.Pipeline.exact_permutations
 
+let test_survival_curve_matches_independent () =
+  (* the CRN curve with its memo and monotone short-circuits must be
+     pointwise bit-identical to independent survival runs, for sorted
+     and unsorted grids, flow-only and mixed probes, at every jobs *)
+  let benes = Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make 8) in
+  let trials = 120 in
+  List.iter
+    (fun eps ->
+      List.iter
+        (fun (pname, probe) ->
+          List.iter
+            (fun jobs ->
+              let curve =
+                let rng = Rng.create ~seed:2718 in
+                Pipeline.survival_curve ~jobs ~trials ~rng ~eps ~probe benes
+              in
+              Array.iteri
+                (fun k e ->
+                  let rng = Rng.create ~seed:2718 in
+                  let single =
+                    Pipeline.survival ~trials ~rng ~eps:eps.(k) ~probe benes
+                  in
+                  check
+                    (Printf.sprintf "%s jobs=%d point %d successes" pname jobs
+                       k)
+                    single.Ftcsn_reliability.Monte_carlo.successes
+                    e.Ftcsn_reliability.Monte_carlo.successes;
+                  check
+                    (Printf.sprintf "%s jobs=%d point %d trials" pname jobs k)
+                    single.Ftcsn_reliability.Monte_carlo.trials
+                    e.Ftcsn_reliability.Monte_carlo.trials)
+                curve)
+            [ 1; 4 ])
+        [
+          ("sc", Pipeline.sc_probe_only); ("default", Pipeline.default_probe);
+        ])
+    [
+      [| 1e-3; 1e-2; 0.05; 0.12 |] (* ascending: short-circuits live *);
+      [| 0.05; 1e-3; 0.12 |] (* unsorted: every point evaluated *);
+    ]
+
 (* ---------- Paper_bounds ---------- *)
 
 let test_paper_bounds_regimes () =
@@ -1041,6 +1082,8 @@ let () =
           Alcotest.test_case "monotone" `Quick test_pipeline_survival_monotone;
           Alcotest.test_case "ft beats benes" `Quick test_pipeline_ft_beats_benes;
           Alcotest.test_case "probe presets" `Quick test_pipeline_probe_presets;
+          Alcotest.test_case "survival curve = independent runs" `Quick
+            test_survival_curve_matches_independent;
         ] );
       ( "ft-route",
         [

@@ -613,6 +613,150 @@ let test_search_jobs_deterministic () =
   | None, None -> ()
   | _ -> Alcotest.fail "search: jobs 1 and jobs 4 disagree on existence"
 
+(* ---------- CRN ε-curve sweeps ---------- *)
+
+let sweep_graph () =
+  Digraph.of_edges ~n:6
+    [| (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (0, 3); (1, 4); (2, 5) |]
+
+let sweep_event sc =
+  let pattern = Scratch.pattern sc in
+  Fault.count pattern Fault.Normal > Array.length pattern - 3
+
+let test_sweep_one_point_matches_scratch () =
+  (* a 1-point grid must reproduce the single-ε engine bit-for-bit:
+     same draws, same thresholds, same parent-stream advance *)
+  let g = sweep_graph () in
+  List.iter
+    (fun jobs ->
+      let rng_c = Rng.create ~seed:321 in
+      let curve =
+        Monte_carlo.estimate_curve ~jobs ~trials:800 ~rng:rng_c ~graph:g
+          ~grid:[| (0.07, 0.05) |]
+          sweep_event
+      in
+      let rng_s = Rng.create ~seed:321 in
+      let single =
+        Monte_carlo.estimate_event_scratch ~jobs ~trials:800 ~rng:rng_s
+          ~graph:g ~eps_open:0.07 ~eps_close:0.05 sweep_event
+      in
+      check "one point" 1 (Array.length curve);
+      check_estimate "1-point grid = estimate_event_scratch" curve.(0) single;
+      Alcotest.(check int64)
+        "parent stream advanced identically" (Rng.int64 rng_s)
+        (Rng.int64 rng_c))
+    [ 1; 3 ]
+
+let test_curve_points_match_independent_runs () =
+  (* every grid point equals an independent run at that (ε₁, ε₂): the
+     coupling shares draws, never changes any single point's law *)
+  let g = sweep_graph () in
+  let grid = [| (0.01, 0.0); (0.05, 0.02); (0.2, 0.1) |] in
+  let curve =
+    let rng = Rng.create ~seed:99 in
+    Monte_carlo.estimate_curve ~trials:600 ~rng ~graph:g ~grid sweep_event
+  in
+  Array.iteri
+    (fun k (eps_open, eps_close) ->
+      let rng = Rng.create ~seed:99 in
+      let single =
+        Monte_carlo.estimate_event_scratch ~trials:600 ~rng ~graph:g ~eps_open
+          ~eps_close sweep_event
+      in
+      check_estimate (Printf.sprintf "grid point %d" k) curve.(k) single)
+    grid
+
+let test_sweep_jobs_trace_deterministic () =
+  let g = sweep_graph () in
+  let grid = [| (0.02, 0.01); (0.1, 0.05); (0.3, 0.2) |] in
+  let run ~jobs ~traced =
+    let rng = Rng.create ~seed:512 in
+    let ests =
+      if traced then begin
+        let sink, _drain = Ftcsn_obs.Trace.memory () in
+        let r =
+          Monte_carlo.estimate_curve ~jobs ~trace:sink ~trials:700 ~rng
+            ~graph:g ~grid sweep_event
+        in
+        Ftcsn_obs.Trace.close sink;
+        r
+      end
+      else Monte_carlo.estimate_curve ~jobs ~trials:700 ~rng ~graph:g ~grid sweep_event
+    in
+    (ests, Rng.int64 rng)
+  in
+  let base, next0 = run ~jobs:1 ~traced:false in
+  List.iter
+    (fun (jobs, traced) ->
+      let ests, next = run ~jobs ~traced in
+      Array.iteri
+        (fun k e ->
+          check_estimate
+            (Printf.sprintf "jobs=%d traced=%b point %d" jobs traced k)
+            base.(k) e)
+        ests;
+      Alcotest.(check int64) "parent stream" next0 next)
+    [ (1, true); (2, false); (4, true); (4, false) ]
+
+let test_crn_curve_monotone_successes () =
+  (* CRN couples trials across the curve, so the per-point success
+     COUNTS — not just the means — are nondecreasing for a monotone
+     event on an ascending grid: each trial's indicator is monotone *)
+  let h = Hammock.make ~rows:4 ~width:5 in
+  let eps = [| 0.01; 0.03; 0.08; 0.15; 0.3 |] in
+  let rng = Rng.create ~seed:7 in
+  let curve = Hammock.open_failure_prob_curve ~trials:500 ~rng ~eps h in
+  for k = 1 to Array.length curve - 1 do
+    checkb
+      (Printf.sprintf "successes nondecreasing at point %d" k)
+      true
+      (curve.(k).Trials.successes >= curve.(k - 1).Trials.successes)
+  done
+
+let test_hammock_curve_matches_independent () =
+  let h = Hammock.make ~rows:3 ~width:4 in
+  let eps = [| 0.02; 0.07; 0.2 |] in
+  let curve =
+    let rng = Rng.create ~seed:31 in
+    Hammock.open_failure_prob_curve ~trials:400 ~rng ~eps h
+  in
+  Array.iteri
+    (fun k e ->
+      let rng = Rng.create ~seed:31 in
+      let single = Hammock.open_failure_prob ~trials:400 ~rng ~eps:e h in
+      check_estimate (Printf.sprintf "eps %g" e) curve.(k) single)
+    eps
+
+(* ---------- persistent domain pool ---------- *)
+
+let test_pool_vs_spawn_identical () =
+  let run () =
+    let rng = Rng.create ~seed:2024 in
+    let est = Trials.run ~jobs:4 ~chunk:64 ~trials:1500 ~rng spiky_trial in
+    (est, Rng.int64 rng)
+  in
+  let pooled, next_p = run () in
+  let spawned, next_s =
+    Trials.pool_enabled := false;
+    Fun.protect ~finally:(fun () -> Trials.pool_enabled := true) run
+  in
+  check_estimate "pool vs spawn-per-round" pooled spawned;
+  Alcotest.(check int64) "parent stream" next_p next_s
+
+let test_pool_spawns_counted_once () =
+  let c =
+    Ftcsn_obs.Metrics.counter Ftcsn_obs.Metrics.default "trials.pool.spawns"
+  in
+  let run () =
+    let rng = Rng.create ~seed:5 in
+    ignore (Trials.run ~jobs:3 ~chunk:32 ~trials:300 ~rng spiky_trial)
+  in
+  run ();
+  (* the pool now holds >= 2 workers: a second jobs=3 run is all reuse *)
+  let before = Ftcsn_obs.Counter.get c in
+  run ();
+  check "warm pool spawns no new domains" before (Ftcsn_obs.Counter.get c)
+
 (* ---------- properties ---------- *)
 
 let prop_survivor_class_count =
@@ -851,6 +995,26 @@ let () =
             test_estimate_event_jobs_deterministic;
           Alcotest.test_case "search witness identical at every jobs" `Quick
             test_search_jobs_deterministic;
+        ] );
+      ( "crn-sweep",
+        [
+          Alcotest.test_case "1-point grid = single-point engine" `Quick
+            test_sweep_one_point_matches_scratch;
+          Alcotest.test_case "curve points = independent runs" `Quick
+            test_curve_points_match_independent_runs;
+          Alcotest.test_case "identical across jobs and tracing" `Quick
+            test_sweep_jobs_trace_deterministic;
+          Alcotest.test_case "CRN success counts monotone" `Quick
+            test_crn_curve_monotone_successes;
+          Alcotest.test_case "hammock curve = independent runs" `Quick
+            test_hammock_curve_matches_independent;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "pool estimates = spawn-per-round" `Quick
+            test_pool_vs_spawn_identical;
+          Alcotest.test_case "warm pool spawns nothing" `Quick
+            test_pool_spawns_counted_once;
         ] );
       ("properties", props);
     ]
