@@ -136,6 +136,9 @@ type engine_sample = {
       (** worker domains the persistent pool spawned during this sample;
           0 on every run whose [jobs] the pool has already reached *)
   pool_reused : bool;  (** [jobs > 1] with no spawn: the pool was warm *)
+  extras : (string * Ftcsn_obs.Json.t) list;
+      (** bench-specific extra metrics appended to the JSON record
+          (e.g. the traffic engine's events/s and blocking CI width) *)
   minor_words_per_trial : float;
       (** minor-heap words allocated per trial on the scheduling domain.
           At [jobs=1] every chunk runs on the calling domain, so this is
@@ -189,6 +192,7 @@ let timed_once ~bench ~jobs ~trials f =
     overhead_seconds;
     pool_spawns;
     pool_reused = jobs > 1 && pool_spawns = 0;
+    extras = [];
     minor_words_per_trial = minor_words /. float_of_int trials;
     promoted_words_per_trial = promoted_words /. float_of_int trials;
   }
@@ -286,13 +290,60 @@ let engine_samples ?(quick = false) ~jobs_list () =
     timed ~reps ~bench:"survival-benes-16-8runs" ~jobs:1
       ~trials:(8 * survival_trials) independent_runs
   in
-  per_jobs @ [ curve; independent ]
+  (* Continuous-time traffic engine (Ftcsn_des.Traffic): replications of
+     a steady-state blocking estimate on benes-16 under offered load with
+     mild failure/repair clocks.  Headline rates are events/s and
+     offered calls/s rather than trials/s, plus the width of the pooled
+     blocking CI the run buys. *)
+  let traffic_last = ref None in
+  let traffic_config =
+    Ftcsn_des.Traffic.config ~load:8.0 ~mtbf:2000.0 ~mttr:5.0
+      ~stop:(Ftcsn_des.Traffic.Calls { warmup = 200; measured = 2000 })
+      ()
+  in
+  let traffic_sweep ~jobs ~trials ~trace =
+    let rng = Rng.create ~seed:45 in
+    traffic_last :=
+      Some
+        (Ftcsn_des.Traffic.estimate ~jobs ~trace ~trials ~rng
+           ~config:traffic_config benes)
+  in
+  let traffic_trials = if quick then 4 else 16 in
+  let traffic =
+    let t =
+      timed ~reps ~bench:"traffic-benes-16" ~jobs:1 ~trials:traffic_trials
+        traffic_sweep
+    in
+    match !traffic_last with
+    | None -> t
+    | Some s ->
+        let open Ftcsn_obs.Json in
+        let b = s.Ftcsn_des.Traffic.blocking in
+        {
+          t with
+          extras =
+            [
+              ( "events_per_sec",
+                Float (float_of_int s.Ftcsn_des.Traffic.t_events /. t.seconds)
+              );
+              ( "calls_per_sec",
+                Float (float_of_int s.Ftcsn_des.Traffic.t_offered /. t.seconds)
+              );
+              ("blocking_mean", Float b.Ftcsn_des.Batch_means.mean);
+              ( "blocking_ci_width",
+                Float
+                  (b.Ftcsn_des.Batch_means.ci_high
+                  -. b.Ftcsn_des.Batch_means.ci_low) );
+            ];
+        }
+  in
+  per_jobs @ [ curve; independent; traffic ]
 
 let write_json path samples =
   let open Ftcsn_obs.Json in
   let sample_json s =
     Obj
-      [
+      ([
         ("name", String s.bench);
         ("jobs", Int s.jobs);
         ("trials", Int s.trials);
@@ -306,6 +357,7 @@ let write_json path samples =
         ("minor_words_per_trial", Float s.minor_words_per_trial);
         ("promoted_words_per_trial", Float s.promoted_words_per_trial);
       ]
+      @ s.extras)
   in
   let doc =
     Obj
@@ -344,6 +396,21 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
         (s4.rate /. s1.rate)
         (Domain.recommended_domain_count ())
   | _ -> ());
+  (* traffic engine headline: events/s and calls/s, and how tight a
+     blocking interval the run bought *)
+  (match List.find_opt (fun s -> s.bench = "traffic-benes-16") samples with
+  | Some t ->
+      let f key =
+        match List.assoc_opt key t.extras with
+        | Some (Ftcsn_obs.Json.Float v) -> v
+        | _ -> nan
+      in
+      Printf.printf
+        "traffic-benes-16: %.0f events/s, %.0f calls/s, blocking %.4f (CI \
+         width %.4f) over %d replications\n"
+        (f "events_per_sec") (f "calls_per_sec") (f "blocking_mean")
+        (f "blocking_ci_width") t.trials
+  | None -> ());
   (* coupled-curve speedup: one 8-point sweep vs 8 independent runs at
      the same per-point trial count (identical estimates either way) *)
   (match

@@ -9,6 +9,7 @@
               nonblocking) on a small network
      survive  Monte-Carlo (eps, delta) survival estimation
      curve    coupled survival curve over an --eps-grid (CRN sweep)
+     traffic  continuous-time call traffic: steady-state blocking with CIs
      degrade  age the network under live traffic and report degradation
      critical rank switches by Birnbaum criticality
      render   DOT or ASCII renderings (grids, stage census)
@@ -29,6 +30,9 @@ module Rng = Ftcsn_prng.Rng
 module Fault = Ftcsn_reliability.Fault
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
 module Trials = Ftcsn_sim.Trials
+module Traffic = Ftcsn_des.Traffic
+module Dist = Ftcsn_des.Dist
+module Batch_means = Ftcsn_des.Batch_means
 module Obs_json = Ftcsn_obs.Json
 module Obs_metrics = Ftcsn_obs.Metrics
 module Obs_timer = Ftcsn_obs.Timer
@@ -212,6 +216,8 @@ module Seeds = struct
   let degrade seed = Rng.create ~seed:(seed + 5)
 
   let critical seed = Rng.create ~seed:(seed + 6)
+
+  let traffic seed = Rng.create ~seed:(seed + 7)
 
   (* curve shares survive's stream: a curve point at ε then reproduces
      `survive --eps ε` with the same --seed bit-for-bit *)
@@ -825,20 +831,219 @@ let curve_cmd =
       const run $ family_arg $ n_arg $ seed_arg $ eps_grid $ trials
       $ jobs_arg $ json $ obs_args)
 
+(* ---------- traffic ---------- *)
+
+let parse_holding s =
+  match Dist.holding_of_string s with
+  | Ok h -> h
+  | Error msg -> die "invalid --holding value %S: %s" s msg
+
+(* greedy | rearrange[:BUDGET] — BUDGET caps the backtracking search per
+   re-lay attempt (default 10000 states) *)
+let parse_policy s =
+  match String.split_on_char ':' s with
+  | [ "greedy" ] -> Traffic.Route_greedy
+  | [ "rearrange" ] -> Traffic.Route_rearrange 10_000
+  | [ "rearrange"; b ] -> (
+      match int_of_string_opt b with
+      | Some k when k >= 1 -> Traffic.Route_rearrange k
+      | _ ->
+          die "invalid --policy value %S: BUDGET %S must be an integer >= 1" s b)
+  | _ -> die "invalid --policy value %S: expected greedy or rearrange[:BUDGET]" s
+
+let traffic_cmd =
+  let run family n seed load holding mtbf mttr warmup calls batches policy
+      trials jobs json obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_jobs jobs in
+    let calls = check_pos "--calls" calls in
+    let batches = check_pos "--batches" batches in
+    if warmup < 0 then
+      die "invalid --warmup value %d: must be an integer >= 0" warmup;
+    if not (load > 0.0 && Float.is_finite load) then
+      die "invalid --load value %g: must be a finite offered load > 0" load;
+    (match mtbf with
+    | Some x when not (x > 0.0) ->
+        die "invalid --mtbf value %g: must be > 0 (omit the flag for no failures)" x
+    | _ -> ());
+    if not (mttr > 0.0) then
+      die "invalid --mttr value %g: must be > 0 (use a huge value for \
+           permanent failures)" mttr;
+    let holding = parse_holding holding in
+    let policy = parse_policy policy in
+    let config =
+      try
+        Traffic.config ~load ~holding
+          ~mtbf:(Option.value mtbf ~default:infinity)
+          ~mttr
+          ~stop:(Traffic.Calls { warmup; measured = calls })
+          ~batches ~policy ()
+      with Invalid_argument msg -> die "%s" msg
+    in
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let rng = Seeds.traffic seed in
+    let s =
+      phase obs "estimate" (fun () ->
+          Traffic.estimate ~jobs ?trace:obs.trace ~trials ~rng ~config net)
+    in
+    let b = s.Traffic.blocking in
+    Obs_metrics.set_gauge obs.registry "traffic.blocking.mean"
+      b.Batch_means.mean;
+    Obs_metrics.set_gauge obs.registry "traffic.blocking.ci_low"
+      b.Batch_means.ci_low;
+    Obs_metrics.set_gauge obs.registry "traffic.blocking.ci_high"
+      b.Batch_means.ci_high;
+    Obs_metrics.set_gauge obs.registry "traffic.occupancy" s.Traffic.occupancy;
+    if json then
+      print_endline
+        (Obs_json.to_string
+           (Obs_json.Obj
+              [
+                ("inputs", Obs_json.Int (Network.n_inputs net));
+                ("outputs", Obs_json.Int (Network.n_outputs net));
+                ("switches", Obs_json.Int (Network.size net));
+                ("load", Obs_json.Float load);
+                ("holding", Obs_json.String (Format.asprintf "%a" Dist.pp_holding holding));
+                ("replications", Obs_json.Int s.Traffic.replications);
+                ("blocking", Obs_json.Float b.Batch_means.mean);
+                ("blocking_ci_low", Obs_json.Float b.Batch_means.ci_low);
+                ("blocking_ci_high", Obs_json.Float b.Batch_means.ci_high);
+                ("batches", Obs_json.Int b.Batch_means.batches);
+                ("measured_calls", Obs_json.Int b.Batch_means.count);
+                ("occupancy", Obs_json.Float s.Traffic.occupancy);
+                ("carried", Obs_json.Float s.Traffic.carried);
+                ("offered", Obs_json.Int s.Traffic.t_offered);
+                ("served", Obs_json.Int s.Traffic.t_served);
+                ("blocked", Obs_json.Int s.Traffic.t_blocked);
+                ("blocked_full", Obs_json.Int s.Traffic.t_blocked_full);
+                ("dropped", Obs_json.Int s.Traffic.t_dropped);
+                ("rerouted", Obs_json.Int s.Traffic.t_rerouted);
+                ("failures", Obs_json.Int s.Traffic.t_failures);
+                ("repairs", Obs_json.Int s.Traffic.t_repairs);
+                ("events", Obs_json.Int s.Traffic.t_events);
+                ("sim_time", Obs_json.Float s.Traffic.t_sim_time);
+                ("catastrophes", Obs_json.Int s.Traffic.catastrophes);
+              ]))
+    else begin
+      Format.printf "%a@." Network.pp net;
+      Format.printf
+        "offered load %g Erlang, holding %a, %d replication%s x (%d warmup \
+         + %d measured calls), jobs=%d@."
+        load Dist.pp_holding holding s.Traffic.replications
+        (if s.Traffic.replications = 1 then "" else "s")
+        warmup calls jobs;
+      Format.printf
+        "blocking: %.5f  (95%% CI [%.5f, %.5f], %d batches, %d measured calls)@."
+        b.Batch_means.mean b.Batch_means.ci_low b.Batch_means.ci_high
+        b.Batch_means.batches b.Batch_means.count;
+      Format.printf
+        "occupancy (Little's L): %.3f   carried (lambda x W): %.3f@."
+        s.Traffic.occupancy s.Traffic.carried;
+      Format.printf
+        "offered=%d served=%d blocked=%d (system-full=%d) dropped=%d \
+         rerouted=%d@."
+        s.Traffic.t_offered s.Traffic.t_served s.Traffic.t_blocked
+        s.Traffic.t_blocked_full s.Traffic.t_dropped s.Traffic.t_rerouted;
+      Format.printf "failures=%d repairs=%d events=%d sim-time=%.1f@."
+        s.Traffic.t_failures s.Traffic.t_repairs s.Traffic.t_events
+        s.Traffic.t_sim_time;
+      if s.Traffic.catastrophes > 0 then
+        Format.printf "catastrophes (terminals fused): %d replication%s@."
+          s.Traffic.catastrophes
+          (if s.Traffic.catastrophes = 1 then "" else "s")
+    end
+  in
+  let load =
+    Arg.(value & opt float 1.0
+         & info [ "load" ] ~docv:"ERLANGS"
+             ~doc:
+               "Offered load in Erlangs (arrival rate; holding times have \
+                unit mean).")
+  in
+  let holding =
+    Arg.(value & opt string "exp"
+         & info [ "holding" ] ~docv:"DIST"
+             ~doc:
+               "Holding-time distribution: exp (memoryless, mean 1) or \
+                pareto:ALPHA (heavy-tailed, ALPHA > 1, rescaled to mean 1).")
+  in
+  let mtbf =
+    Arg.(value & opt (some float) None
+         & info [ "mtbf" ] ~docv:"T"
+             ~doc:
+               "Per-switch mean time between failures (exponential clock, \
+                open/closed with equal probability).  Omit for a fault-free \
+                run.")
+  in
+  let mttr =
+    Arg.(value & opt float 10.0
+         & info [ "mttr" ] ~docv:"T"
+             ~doc:"Per-switch mean time to repair (exponential clock).")
+  in
+  let warmup =
+    Arg.(value & opt int 500
+         & info [ "warmup" ] ~docv:"CALLS"
+             ~doc:
+               "Offered calls discarded before the measured window opens \
+                (warm-up truncation).")
+  in
+  let calls =
+    Arg.(value & opt int 5000
+         & info [ "calls" ] ~docv:"CALLS"
+             ~doc:"Offered calls measured per replication.")
+  in
+  let batches =
+    Arg.(value & opt int 10
+         & info [ "batches" ] ~docv:"B"
+             ~doc:
+               "Batch-means batches per replication (Student-t interval over \
+                the pooled batch means).")
+  in
+  let policy =
+    Arg.(value & opt string "greedy"
+         & info [ "policy" ] ~docv:"P"
+             ~doc:
+               "Routing policy: greedy (strictly-nonblocking operation) or \
+                rearrange[:BUDGET] (re-lay all live calls with backtracking \
+                when the greedy probe blocks; default budget 10000).")
+  in
+  let trials =
+    trials_arg ~default:5 ~doc:"Independent replications (one substream each)."
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the summary as one JSON object instead of a table.")
+  in
+  let doc =
+    "Continuous-time call traffic through the network: Poisson arrivals, \
+     unit-mean holding times, optional switch failure/repair clocks; \
+     reports steady-state blocking with batch-means confidence intervals \
+     and a Little's-law occupancy cross-check."
+  in
+  Cmd.v (Cmd.info "traffic" ~doc)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ load $ holding $ mtbf
+      $ mttr $ warmup $ calls $ batches $ policy $ trials $ jobs_arg $ json
+      $ obs_args)
+
 (* ---------- degrade ---------- *)
 
 let degrade_cmd =
-  let run family n seed hazard ticks trials jobs obsargs =
+  let run family n seed hazard arrival ticks trials jobs obsargs =
     let trials = check_pos "--trials" trials in
     let jobs = check_jobs jobs in
     let ticks = check_pos "--ticks" ticks in
+    if not (arrival >= 0.0 && arrival <= 1.0) then
+      die "invalid --arrival value %g: must be a probability in [0, 1]" arrival;
     with_obs obsargs @@ fun obs ->
     let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
     let rng = Seeds.degrade seed in
     if trials <= 1 then begin
       let stats =
         phase obs "session" (fun () ->
-            Ftcsn.Ft_session.run ~rng ~hazard ~arrival:0.6 ~ticks net)
+            Ftcsn.Ft_session.run ~rng ~hazard ~arrival ~ticks net)
       in
       Format.printf "%a@." Network.pp net;
       Format.printf
@@ -867,6 +1072,13 @@ let degrade_cmd =
     Arg.(value & opt float 1e-5
          & info [ "hazard" ] ~docv:"H" ~doc:"Per-switch failure probability per tick.")
   in
+  let arrival =
+    Arg.(value & opt float 0.6
+         & info [ "arrival" ] ~docv:"A"
+             ~doc:
+               "Per-tick call arrival probability in [0, 1] (single-run \
+                mode; the multi-trial estimator always saturates).")
+  in
   let ticks =
     Arg.(value & opt int 2000 & info [ "ticks" ] ~docv:"T" ~doc:"Simulation horizon.")
   in
@@ -879,8 +1091,8 @@ let degrade_cmd =
   let doc = "Age the network under live traffic and report degradation." in
   Cmd.v (Cmd.info "degrade" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ hazard $ ticks $ trials
-      $ jobs_arg $ obs_args)
+      const run $ family_arg $ n_arg $ seed_arg $ hazard $ arrival $ ticks
+      $ trials $ jobs_arg $ obs_args)
 
 (* ---------- critical ---------- *)
 
@@ -968,5 +1180,5 @@ let () =
        (Cmd.group info
           [
             build_cmd; faults_cmd; route_cmd; check_cmd; survive_cmd;
-            curve_cmd; degrade_cmd; critical_cmd; render_cmd;
+            curve_cmd; traffic_cmd; degrade_cmd; critical_cmd; render_cmd;
           ]))

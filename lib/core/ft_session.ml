@@ -1,9 +1,5 @@
 module Network = Ftcsn_networks.Network
-module Digraph = Ftcsn_graph.Digraph
-module Fault = Ftcsn_reliability.Fault
-module Bitset = Ftcsn_util.Bitset
-module Union_find = Ftcsn_util.Union_find
-module Rng = Ftcsn_prng.Rng
+module Traffic = Ftcsn_des.Traffic
 
 type stats = {
   ticks : int;
@@ -15,263 +11,71 @@ type stats = {
   catastrophe_at : int option;
 }
 
-type sim = {
-  net : Network.t;
-  rng : Rng.t;
-  pattern : Fault.state array;
-  faulty : Bitset.t;
-  busy : Bitset.t;
-  shorts : Union_find.t;
-  terminal : bool array;
-  mutable calls : (int * int * int list * int list) list;
-      (** (input idx, output idx, vertex path, edge ids of the path) *)
-  mutable placed : int;
-  mutable blocked : int;
-  mutable dropped : int;
-  mutable rerouted : int;
-  mutable failures : int;
-}
+(* The tick loop this module used to own now lives in the continuous-time
+   engine (Ftcsn_des.Traffic); this is a thin translation layer that maps
+   the historical tick-based API onto it.  A per-tick hazard becomes an
+   exponential failure clock with mtbf = 1/hazard (same expected failures
+   per unit time), repairs stay off (mttr = infinity), and ticks become
+   the time horizon. *)
 
-let make_sim ~rng net =
-  let g = net.Network.graph in
-  let terminal = Array.make (Digraph.vertex_count g) false in
-  List.iter (fun v -> terminal.(v) <- true) (Network.terminals net);
-  {
-    net;
-    rng;
-    pattern = Array.make (Digraph.edge_count g) Fault.Normal;
-    faulty = Bitset.create (Digraph.vertex_count g);
-    busy = Bitset.create (Digraph.vertex_count g);
-    shorts = Union_find.create (Digraph.vertex_count g);
-    terminal;
-    calls = [];
-    placed = 0;
-    blocked = 0;
-    dropped = 0;
-    rerouted = 0;
-    failures = 0;
-  }
+let tick_of_time t = int_of_float (ceil t)
 
-(* BFS over still-normal switches through idle, non-faulty internal
-   vertices; returns the vertex path and the edge ids it uses. *)
-let find_path sim ~src ~dst =
-  let g = sim.net.Network.graph in
-  let n = Digraph.vertex_count g in
-  (* terminals stay routable even when incident switches failed (their
-     failed switches are unusable edge-wise anyway); internal vertices are
-     stripped once faulty, mirroring Fault_strip *)
-  let ok v =
-    (not (Bitset.mem sim.busy v))
-    &&
-    if v = dst then true
-    else (not sim.terminal.(v)) && not (Bitset.mem sim.faulty v)
+let config_of ~hazard ~arrival ~ticks =
+  if hazard < 0.0 || hazard > 1.0 then
+    invalid_arg "Ft_session.run: hazard must be in [0, 1]";
+  Traffic.config ~load:arrival
+    ~mtbf:(if hazard > 0.0 then 1.0 /. hazard else infinity)
+    ~mttr:infinity
+    ~stop:(Traffic.Horizon (float_of_int ticks))
+    ()
+
+let stats_of ~ticks (s : Traffic.stats) =
+  let ended_at =
+    match (s.Traffic.catastrophe_at, s.Traffic.degraded_at) with
+    | Some t, _ | None, Some t -> max 1 (tick_of_time t)
+    | None, None -> ticks
   in
-  if Bitset.mem sim.busy src || Bitset.mem sim.busy dst then None
-  else begin
-    let parent_v = Array.make n (-1) in
-    let parent_e = Array.make n (-1) in
-    let seen = Array.make n false in
-    seen.(src) <- true;
-    let queue = Queue.create () in
-    Queue.add src queue;
-    let found = ref false in
-    while (not !found) && not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      Digraph.iter_out g u (fun ~dst:w ~eid ->
-          if
-            (not !found)
-            && (not seen.(w))
-            && Fault.state_equal sim.pattern.(eid) Fault.Normal
-            && ok w
-          then begin
-            seen.(w) <- true;
-            parent_v.(w) <- u;
-            parent_e.(w) <- eid;
-            if w = dst then found := true else Queue.add w queue
-          end)
-    done;
-    if not !found then None
-    else begin
-      let rec walk v vs es =
-        if v = src then (v :: vs, es)
-        else walk parent_v.(v) (v :: vs) (parent_e.(v) :: es)
-      in
-      Some (walk dst [] [])
-    end
-  end
-
-let place_call sim ~input ~output =
-  let src = sim.net.Network.inputs.(input)
-  and dst = sim.net.Network.outputs.(output) in
-  match find_path sim ~src ~dst with
-  | None -> false
-  | Some (path, edges) ->
-      List.iter (Bitset.add sim.busy) path;
-      sim.calls <- (input, output, path, edges) :: sim.calls;
-      sim.placed <- sim.placed + 1;
-      true
-
-let release sim (input, output) =
-  match
-    List.find_opt (fun (i, o, _, _) -> i = input && o = output) sim.calls
-  with
-  | None -> ()
-  | Some (_, _, path, _) ->
-      List.iter (Bitset.remove sim.busy) path;
-      sim.calls <-
-        List.filter (fun (i, o, _, _) -> (i, o) <> (input, output)) sim.calls
-
-(* Age the hardware one tick: each still-normal switch fails with the
-   given hazard, evenly split between open and closed.  Returns the newly
-   failed edge ids. *)
-let age sim ~hazard =
-  let g = sim.net.Network.graph in
-  let fresh = ref [] in
-  Array.iteri
-    (fun e s ->
-      if Fault.state_equal s Fault.Normal && Rng.bernoulli sim.rng hazard then begin
-        let state =
-          if Rng.bool sim.rng then Fault.Open_failure else Fault.Closed_failure
-        in
-        sim.pattern.(e) <- state;
-        sim.failures <- sim.failures + 1;
-        let src, dst = Digraph.edge_endpoints g e in
-        Bitset.add sim.faulty src;
-        Bitset.add sim.faulty dst;
-        if Fault.state_equal state Fault.Closed_failure then
-          Union_find.union sim.shorts src dst;
-        fresh := e :: !fresh
-      end)
-    sim.pattern;
-  !fresh
-
-let terminals_shorted sim =
-  let seen = Hashtbl.create 16 in
-  List.exists
-    (fun v ->
-      let c = Union_find.find sim.shorts v in
-      if Hashtbl.mem seen c then true
-      else begin
-        Hashtbl.add seen c ();
-        false
-      end)
-    (Network.terminals sim.net)
-
-(* drop calls whose path lost a switch; attempt immediate reroute *)
-let handle_failures sim fresh =
-  if fresh <> [] then begin
-    let failed_set = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace failed_set e ()) fresh;
-    let severed, alive =
-      List.partition
-        (fun (_, _, _, edges) -> List.exists (Hashtbl.mem failed_set) edges)
-        sim.calls
-    in
-    sim.calls <- alive;
-    List.iter
-      (fun (input, output, path, _) ->
-        List.iter (Bitset.remove sim.busy) path;
-        sim.dropped <- sim.dropped + 1;
-        if place_call sim ~input ~output then
-          sim.rerouted <- sim.rerouted + 1)
-      severed
-  end
+  {
+    ticks = ended_at;
+    placed = s.Traffic.served + s.Traffic.rerouted;
+    (* system-full losses are a capacity limit, not a routing failure —
+       the historical tick model never attempted an arrival when full *)
+    blocked = s.Traffic.blocked - s.Traffic.blocked_full;
+    dropped = s.Traffic.dropped;
+    rerouted = s.Traffic.rerouted;
+    failed_switches = s.Traffic.failures;
+    catastrophe_at = Option.map tick_of_time s.Traffic.catastrophe_at;
+  }
 
 let run ~rng ~hazard ~arrival ~ticks net =
-  let sim = make_sim ~rng net in
-  let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
-  let catastrophe = ref None in
-  let tick = ref 0 in
-  while !catastrophe = None && !tick < ticks do
-    incr tick;
-    let fresh = age sim ~hazard in
-    if terminals_shorted sim then catastrophe := Some !tick
-    else begin
-      handle_failures sim fresh;
-      (* traffic *)
-      let live = List.length sim.calls in
-      let arrive =
-        live = 0 || (Rng.bernoulli sim.rng arrival && live < min n_in n_out)
-      in
-      if arrive then begin
-        let idle_inputs =
-          List.filter
-            (fun i -> not (List.exists (fun (i', _, _, _) -> i' = i) sim.calls))
-            (List.init n_in Fun.id)
-        in
-        let idle_outputs =
-          List.filter
-            (fun o -> not (List.exists (fun (_, o', _, _) -> o' = o) sim.calls))
-            (List.init n_out Fun.id)
-        in
-        match (idle_inputs, idle_outputs) with
-        | [], _ | _, [] -> ()
-        | _ ->
-            let i =
-              List.nth idle_inputs (Rng.int sim.rng (List.length idle_inputs))
-            in
-            let o =
-              List.nth idle_outputs (Rng.int sim.rng (List.length idle_outputs))
-            in
-            if not (place_call sim ~input:i ~output:o) then
-              sim.blocked <- sim.blocked + 1
-      end
-      else begin
-        match sim.calls with
-        | [] -> ()
-        | calls ->
-            let i, o, _, _ = List.nth calls (Rng.int sim.rng (List.length calls)) in
-            release sim (i, o)
-      end
-    end
-  done;
-  {
-    ticks = !tick;
-    placed = sim.placed;
-    blocked = sim.blocked;
-    dropped = sim.dropped;
-    rerouted = sim.rerouted;
-    failed_switches = sim.failures;
-    catastrophe_at = !catastrophe;
-  }
+  let config = config_of ~hazard ~arrival ~ticks in
+  stats_of ~ticks (Traffic.run ~rng ~config net)
 
-let time_to_degradation_trial ~rng ~hazard ~max_ticks net =
-  let n_in = Network.n_inputs net and n_out = Network.n_outputs net in
-  let sim = make_sim ~rng net in
-  (* saturate: keep every terminal pair connected identity-style *)
-  let saturated = ref true in
-  for i = 0 to min n_in n_out - 1 do
-    if not (place_call sim ~input:i ~output:i) then saturated := false
-  done;
-  assert !saturated;
-  let t = ref 0 in
-  let degraded = ref false in
-  while (not !degraded) && !t < max_ticks do
-    incr t;
-    let fresh = age sim ~hazard in
-    if terminals_shorted sim then degraded := true
-    else begin
-      let before = sim.dropped in
-      handle_failures sim fresh;
-      let lost = sim.dropped - before in
-      (* degradation = some severed call could not be rerouted *)
-      if lost > 0 && List.length sim.calls < min n_in n_out then
-        degraded := true
-    end
-  done;
-  !t
+let mttd_config ~hazard ~max_ticks =
+  if hazard < 0.0 || hazard > 1.0 then
+    invalid_arg "Ft_session.mean_time_to_degradation: hazard must be in [0, 1]";
+  Traffic.config ~load:0.0
+    ~mtbf:(if hazard > 0.0 then 1.0 /. hazard else infinity)
+    ~mttr:infinity
+    ~stop:(Traffic.Horizon (float_of_int max_ticks))
+    ~saturate:true ~stop_on_degradation:true ()
 
 let mean_time_to_degradation ?jobs ?trace ~rng ~hazard ~trials ~max_ticks net =
-  let horizon =
-    Ftcsn_sim.Trials.map_reduce ?jobs ?trace ~label:"ft_session.mttd"
-      ~trials ~rng
+  let config = mttd_config ~hazard ~max_ticks in
+  let total =
+    Ftcsn_sim.Trials.map_reduce ?jobs ?trace ~label:"ft_session.mttd" ~trials
+      ~rng
       ~init:(fun () -> ())
       ~create_acc:(fun () -> ref 0.0)
       ~trial:(fun () acc sub ->
-        acc :=
-          !acc
-          +. float_of_int (time_to_degradation_trial ~rng:sub ~hazard ~max_ticks net))
+        let s = Traffic.run ~rng:sub ~config net in
+        let t =
+          match s.Traffic.degraded_at with
+          | Some t -> t
+          | None -> float_of_int max_ticks
+        in
+        acc := !acc +. t)
       ~combine:(fun global chunk -> global := !global +. !chunk)
       ()
   in
-  !horizon /. float_of_int trials
+  !total /. float_of_int trials

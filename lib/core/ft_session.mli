@@ -9,7 +9,16 @@
     contract two terminals (the Lemma 7 catastrophe).
 
     This quantifies the paper's qualitative promise: an (ε, δ)-network
-    keeps serving until the accumulated failure fraction approaches ε. *)
+    keeps serving until the accumulated failure fraction approaches ε.
+
+    The simulation itself runs on the continuous-time engine
+    ([Ftcsn_des.Traffic]); this module is a thin compatibility layer
+    that translates the historical tick-based parameters — a per-tick
+    hazard becomes an exponential failure clock with [mtbf = 1/hazard],
+    [ticks] becomes the time horizon — and translates the engine's
+    continuous-time statistics back.  [blocked] still counts only
+    requests between idle terminals that found no path (the paper's
+    nonblocking violation), never system-full losses. *)
 
 type stats = {
   ticks : int;  (** ticks actually executed *)

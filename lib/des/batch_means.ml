@@ -1,0 +1,85 @@
+type t = {
+  batches : int;
+  batch_size : int;
+  sums : float array;
+  counts : int array;
+  mutable seen : int;
+}
+
+let create ~batches ~total =
+  if batches < 2 then invalid_arg "Batch_means.create: need batches >= 2";
+  if total < batches then
+    invalid_arg "Batch_means.create: need total >= batches";
+  {
+    batches;
+    batch_size = total / batches;
+    sums = Array.make batches 0.0;
+    counts = Array.make batches 0;
+    seen = 0;
+  }
+
+let add t x =
+  let b = min (t.seen / t.batch_size) (t.batches - 1) in
+  t.sums.(b) <- t.sums.(b) +. x;
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.seen <- t.seen + 1
+
+let count t = t.seen
+
+let completed t =
+  let rec go b = if b < t.batches && t.counts.(b) >= t.batch_size then go (b + 1) else b in
+  go 0
+
+let batch_mean t b =
+  if b < 0 || b >= completed t then invalid_arg "Batch_means.batch_mean";
+  t.sums.(b) /. float_of_int t.counts.(b)
+
+let means t = Array.init (completed t) (fun b -> batch_mean t b)
+
+type summary = {
+  mean : float;
+  ci_low : float;
+  ci_high : float;
+  batches : int;
+  count : int;
+}
+
+(* two-sided 95% Student-t critical values; exact through 30 df, stepped
+   beyond, normal limit as the tail *)
+let t_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_quantile ~df =
+  if df < 1 then invalid_arg "Batch_means.t_quantile: df must be >= 1";
+  if df <= 30 then t_table.(df - 1)
+  else if df <= 40 then 2.021
+  else if df <= 60 then 2.000
+  else if df <= 120 then 1.980
+  else 1.960
+
+let of_means ?count ms =
+  let b = Array.length ms in
+  if b < 2 then invalid_arg "Batch_means.of_means: need at least two batches";
+  let mean = Array.fold_left ( +. ) 0.0 ms /. float_of_int b in
+  let ss =
+    Array.fold_left (fun acc m -> acc +. ((m -. mean) ** 2.0)) 0.0 ms
+  in
+  let var = ss /. float_of_int (b - 1) in
+  let half = t_quantile ~df:(b - 1) *. sqrt (var /. float_of_int b) in
+  {
+    mean;
+    ci_low = mean -. half;
+    ci_high = mean +. half;
+    batches = b;
+    count = (match count with Some c -> c | None -> b);
+  }
+
+let summary t = of_means ~count:t.seen (means t)
+
+let pp fmt s =
+  Format.fprintf fmt "%.4f [%.4f, %.4f] (%d batches / %d obs)" s.mean
+    s.ci_low s.ci_high s.batches s.count

@@ -1,0 +1,40 @@
+module Rng = Ftcsn_prng.Rng
+
+(* 1 - Rng.float is in (0, 1], so log never sees 0 and variates are
+   finite; inversion keeps one uniform per draw, which the determinism
+   contract (fixed draws per event) relies on *)
+let exponential rng ~rate =
+  if not (rate > 0.0) then invalid_arg "Dist.exponential: rate must be > 0";
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let pareto rng ~alpha ~scale =
+  if not (alpha > 0.0) then invalid_arg "Dist.pareto: alpha must be > 0";
+  if not (scale > 0.0) then invalid_arg "Dist.pareto: scale must be > 0";
+  scale /. ((1.0 -. Rng.float rng) ** (1.0 /. alpha))
+
+type holding = Exponential | Pareto of float
+
+let holding_time rng = function
+  | Exponential -> exponential rng ~rate:1.0
+  | Pareto alpha -> pareto rng ~alpha ~scale:((alpha -. 1.0) /. alpha)
+
+let holding_of_string s =
+  match String.lowercase_ascii s with
+  | "exp" | "exponential" -> Ok Exponential
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "pareto" -> (
+          let a = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt a with
+          | Some alpha when alpha > 1.0 -> Ok (Pareto alpha)
+          | Some _ ->
+              Error
+                (Printf.sprintf
+                   "pareto shape %s has no finite mean (need ALPHA > 1)" a)
+          | None -> Error (Printf.sprintf "pareto shape %S is not a number" a))
+      | _ -> Error "expected exp or pareto:ALPHA")
+
+let pp_holding fmt = function
+  | Exponential -> Format.fprintf fmt "exp"
+  | Pareto alpha -> Format.fprintf fmt "pareto:%g" alpha

@@ -1,0 +1,35 @@
+(** Stochastic primitives of the traffic engine.
+
+    All draws come from an explicit {!Ftcsn_prng.Rng.t}, one uniform per
+    variate, so event streams are reproducible from their seeds and
+    bit-identical under the {!Ftcsn_sim.Trials} fan-out.
+
+    Holding-time distributions are normalised to {e unit mean}: the
+    engine's time unit is the mean call duration, so the offered load in
+    Erlangs equals the arrival rate numerically.  [Pareto alpha] models
+    the heavy-tailed sessions of real traffic (file transfers, video);
+    [alpha <= 1] has no mean and is rejected. *)
+
+val exponential : Ftcsn_prng.Rng.t -> rate:float -> float
+(** Exponential variate with the given rate (mean [1/rate]), by
+    inversion: one uniform per draw.  Requires [rate > 0]. *)
+
+val pareto : Ftcsn_prng.Rng.t -> alpha:float -> scale:float -> float
+(** Pareto(Type I) variate on [[scale, ∞)] with shape [alpha], by
+    inversion: one uniform per draw.  Requires [alpha > 0], [scale > 0]. *)
+
+type holding =
+  | Exponential  (** memoryless, mean 1 — the M/M/· classical model *)
+  | Pareto of float
+      (** heavy-tailed with shape [alpha > 1], rescaled to mean 1
+          (scale [(alpha-1)/alpha]); variance is infinite for
+          [alpha <= 2] *)
+
+val holding_time : Ftcsn_prng.Rng.t -> holding -> float
+(** One unit-mean holding-time draw (exactly one uniform consumed). *)
+
+val holding_of_string : string -> (holding, string) result
+(** Parse the CLI syntax ["exp"] | ["pareto:ALPHA"] (with [ALPHA > 1]). *)
+
+val pp_holding : Format.formatter -> holding -> unit
+(** Renders back the CLI syntax. *)

@@ -1,0 +1,166 @@
+(** Continuous-time circuit-switching traffic: the operational meaning of
+    the paper's claims, as a discrete-event simulation.
+
+    A nonblocking network "keeps serving an online sequence of call
+    requests" (§2); an (ε, δ)-network keeps doing so while switches
+    fail.  This engine makes those statements quantitative: calls arrive
+    as a Poisson process (offered load in Erlangs), hold for unit-mean
+    exponential or Pareto times, and are routed through the network by
+    the maskable {!Ftcsn_routing.Greedy} router ([~allowed]/[~edge_ok])
+    — optionally falling back to a {!Ftcsn_routing.Backtrack}
+    rearrangement when the greedy probe blocks.  Meanwhile each switch
+    carries exponential failure and repair clocks; a failure is open or
+    closed with equal probability (the paper's ε₁/ε₂ split), severs the
+    call using that switch (the engine immediately attempts a greedy
+    reroute), and a closed failure that contracts two terminals — the
+    Lemma 7 catastrophe — ends the run.
+
+    {2 Determinism contract}
+
+    Events execute in [(time, push-sequence)] order ({!Heap}), and every
+    PRNG draw happens while handling some event, in a fixed documented
+    order (arrival: endpoint picks, holding time, next interarrival;
+    failure: open/closed coin, repair time).  A replication's trace is
+    therefore a pure function of its substream, and {!estimate}
+    fan-outs on {!Ftcsn_sim.Trials} are bit-identical at every [jobs]
+    and with tracing on or off.
+
+    {2 Steady-state statistics}
+
+    Blocking probability is estimated on the measured window (after a
+    warm-up prefix of offered calls) with batch-means Student-t
+    intervals ({!Batch_means}); the engine also integrates the number of
+    concurrent calls over the window so estimates can be cross-checked
+    against Little's law (time-average occupancy [L] versus carried
+    load [λ·W̄]). *)
+
+type stop =
+  | Horizon of float
+      (** run until simulated time [t] (no blocking interval) *)
+  | Calls of { warmup : int; measured : int }
+      (** discard the first [warmup] offered calls, then measure the
+          next [measured] and stop; requires an arrival process
+          ([load > 0]) *)
+
+type policy =
+  | Route_greedy  (** strictly-nonblocking operation: greedy BFS only *)
+  | Route_rearrange of int
+      (** rearrangeably-nonblocking operation: when the greedy probe
+          blocks, re-lay {e all} live calls plus the new request with
+          {!Ftcsn_routing.Backtrack.route_all} under the given search
+          budget, migrating every call on success *)
+
+type config = private {
+  load : float;  (** offered Erlangs (= arrival rate; holding mean is 1) *)
+  holding : Dist.holding;
+  mtbf : float;  (** per-switch mean time between failures; [infinity] = none *)
+  mttr : float;  (** per-switch mean time to repair; [infinity] = permanent *)
+  stop : stop;
+  batches : int;  (** batch-means batches over the measured window *)
+  policy : policy;
+  saturate : bool;
+      (** pre-place identity calls (input i → output i) at t = 0 that
+          never hang up — the saturating workload of the
+          time-to-degradation experiments *)
+  stop_on_degradation : bool;
+      (** halt at the first service failure: a request between idle
+          terminals that could not be routed, a severed call that could
+          not be rerouted, or a catastrophe (system-full losses are a
+          capacity limit, not degradation) *)
+}
+
+val config :
+  ?load:float ->
+  ?holding:Dist.holding ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  ?stop:stop ->
+  ?batches:int ->
+  ?policy:policy ->
+  ?saturate:bool ->
+  ?stop_on_degradation:bool ->
+  unit ->
+  config
+(** Validated constructor (defaults: load 1.0 Erlang, exponential
+    holding, no failures, mttr 10, [Calls {warmup = 500; measured =
+    5000}], 10 batches, greedy policy).
+    @raise Invalid_argument on out-of-range values, e.g. [load < 0],
+    [mtbf <= 0], [batches < 2], a [Calls] stop with [load = 0], or a
+    non-finite horizon. *)
+
+type stats = {
+  sim_time : float;  (** simulated time at the end of the run *)
+  events : int;  (** events executed *)
+  offered : int;  (** arrivals (excluding saturation pre-placement) *)
+  served : int;  (** calls successfully placed on arrival *)
+  blocked : int;
+      (** arrivals lost for any reason — no idle terminals left, or no
+          fault-free idle path between the chosen pair.  This is the
+          loss-system count Erlang-B predicts. *)
+  blocked_full : int;
+      (** the subset of [blocked] lost because every input (or output)
+          was already in a call — a capacity limit, not a routing
+          failure.  [blocked - blocked_full] is the paper's nonblocking
+          violation count: requests between {e idle} terminals that
+          could not be served. *)
+  dropped : int;  (** live calls severed by a switch failure *)
+  rerouted : int;  (** severed calls immediately re-placed *)
+  rearranged : int;  (** blocked arrivals saved by a backtrack re-lay *)
+  failures : int;
+  repairs : int;
+  max_concurrent : int;
+  occupancy : float;
+      (** time-average concurrent calls over the measured window
+          (whole run for a {!Horizon} stop) — Little's law [L] *)
+  carried : float;
+      (** carried load predicted by Little's law: the summed holding
+          times of calls placed in the window divided by its length
+          ([λ·W̄]); compare with [occupancy] *)
+  measured_offered : int;
+      (** offered calls inside the measured window (all of them for a
+          {!Horizon} stop) *)
+  blocking : float;  (** blocked / offered over the measured window *)
+  batch_blocking : float array;
+      (** per-batch blocking means ([[||]] for a {!Horizon} stop) *)
+  degraded_at : float option;
+      (** first service failure, when [stop_on_degradation] *)
+  catastrophe_at : float option;  (** Lemma 7 terminal contraction *)
+}
+
+val run : rng:Ftcsn_prng.Rng.t -> config:config -> Ftcsn_networks.Network.t -> stats
+(** One replication.  All draws come from [rng] in event order. *)
+
+type summary = {
+  replications : int;
+  blocking : Batch_means.summary;
+      (** batch means pooled across replications (replication-level
+          means when no batches were recorded) *)
+  occupancy : float;  (** mean over replications *)
+  carried : float;
+  t_offered : int;  (** totals over all replications *)
+  t_served : int;
+  t_blocked : int;
+  t_blocked_full : int;
+  t_dropped : int;
+  t_rerouted : int;
+  t_failures : int;
+  t_repairs : int;
+  t_events : int;
+  t_sim_time : float;
+  catastrophes : int;  (** replications that ended in a catastrophe *)
+}
+
+val estimate :
+  ?jobs:int ->
+  ?trace:Ftcsn_obs.Trace.sink ->
+  ?label:string ->
+  trials:int ->
+  rng:Ftcsn_prng.Rng.t ->
+  config:config ->
+  Ftcsn_networks.Network.t ->
+  summary
+(** [trials] independent replications on the {!Ftcsn_sim.Trials} engine
+    (one substream each, default label ["traffic.estimate"]) — the
+    result is bit-identical at every [jobs] and with tracing on or off.
+    Aggregate event counts accumulate in [Ftcsn_obs.Metrics.default]
+    under [traffic.*]. *)

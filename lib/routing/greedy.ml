@@ -2,23 +2,26 @@ module Network = Ftcsn_networks.Network
 module Digraph = Ftcsn_graph.Digraph
 module Traverse = Ftcsn_graph.Traverse
 module Bitset = Ftcsn_util.Bitset
+module Rng = Ftcsn_prng.Rng
 
 type t = {
   net : Network.t;
   allowed : int -> bool;
   edge_ok : int -> bool;
+  rng : Rng.t option;
   busy_set : Bitset.t;
   (* BFS scratch, so repeated routing calls don't allocate *)
   parent : int array;
   queue : int array;
 }
 
-let create ?(allowed = fun _ -> true) ?(edge_ok = fun _ -> true) net =
+let create ?(allowed = fun _ -> true) ?(edge_ok = fun _ -> true) ?rng net =
   let n = Digraph.vertex_count net.Network.graph in
   {
     net;
     allowed;
     edge_ok;
+    rng;
     busy_set = Bitset.create n;
     parent = Array.make n (-1);
     queue = Array.make n 0;
@@ -28,6 +31,61 @@ let network t = t.net
 
 let busy t v = Bitset.mem t.busy_set v
 
+(* BFS with shuffled expansion order: each dequeued vertex's edge_ok
+   out-neighbours are collected in CSR order and shuffled, so the parent
+   choice among equal-distance vertices — and hence the returned path —
+   is sampled uniformly among the tie-breaks.  Visit discipline otherwise
+   matches [Traverse.shortest_path_into] exactly. *)
+let route_shuffled t rng ~src ~dst =
+  let g = t.net.Network.graph in
+  let n = Digraph.vertex_count g in
+  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
+  if src = dst then Some [ src ]
+  else begin
+    Array.fill t.parent 0 n (-1);
+    let head = ref 0 and tail = ref 0 in
+    t.queue.(!tail) <- src;
+    incr tail;
+    let found = ref false in
+    while (not !found) && !head < !tail do
+      let u = t.queue.(!head) in
+      incr head;
+      let nbrs = Array.make (Digraph.out_degree g u) (-1) in
+      let k = ref 0 in
+      Digraph.iter_out g u (fun ~dst:v ~eid ->
+          if t.edge_ok eid then begin
+            nbrs.(!k) <- v;
+            incr k
+          end);
+      let nbrs =
+        if !k = Array.length nbrs then nbrs else Array.sub nbrs 0 !k
+      in
+      Rng.shuffle_in_place rng nbrs;
+      Array.iter
+        (fun v ->
+          if
+            (not !found)
+            && (not (v = src || t.parent.(v) >= 0))
+            && (v = dst || ok v)
+          then begin
+            t.parent.(v) <- u;
+            if v = dst then found := true
+            else begin
+              t.queue.(!tail) <- v;
+              incr tail
+            end
+          end)
+        nbrs
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc =
+        if v = src then v :: acc else walk t.parent.(v) (v :: acc)
+      in
+      Some (walk dst [])
+    end
+  end
+
 let route t ~input ~output =
   if busy t input || busy t output then
     invalid_arg "Greedy.route: endpoint already busy";
@@ -35,9 +93,12 @@ let route t ~input ~output =
   if not (ok input && ok output) then None
   else begin
     let path =
-      Traverse.shortest_path_into ~allowed:ok ~edge_ok:t.edge_ok
-        t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
-        ~queue:t.queue
+      match t.rng with
+      | None ->
+          Traverse.shortest_path_into ~allowed:ok ~edge_ok:t.edge_ok
+            t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
+            ~queue:t.queue
+      | Some rng -> route_shuffled t rng ~src:input ~dst:output
     in
     (match path with
     | Some p -> List.iter (Bitset.add t.busy_set) p
@@ -46,6 +107,8 @@ let route t ~input ~output =
   end
 
 let release t path = List.iter (Bitset.remove t.busy_set) path
+
+let occupy t path = List.iter (Bitset.add t.busy_set) path
 
 let route_many t requests =
   List.map (fun (i, o) -> (i, o, route t ~input:i ~output:o)) requests

@@ -11,13 +11,19 @@ type t
 val create :
   ?allowed:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
+  ?rng:Ftcsn_prng.Rng.t ->
   Ftcsn_networks.Network.t ->
   t
 (** Fresh routing state; [allowed] excludes vertices globally (e.g. the
     fault-stripped set), [edge_ok] excludes edges (e.g. failed switches),
-    so routing a surviving network needs no subgraph rebuild.  The
-    router's BFS runs on internal scratch arrays: after creation, routing
-    allocates only the returned paths. *)
+    so routing a surviving network needs no subgraph rebuild.  With [rng],
+    the BFS shuffles each vertex's expansion order so every {!route} call
+    samples uniformly among the tie-breaks (near-shortest paths) — the
+    adversary-ish path choice of the stress tests; without it, paths are
+    the deterministic CSR-order shortest ones.  The router's BFS runs on
+    internal scratch arrays: after creation, routing allocates only the
+    returned paths (plus the per-expansion shuffle buffers when [rng] is
+    set). *)
 
 val network : t -> Ftcsn_networks.Network.t
 
@@ -31,6 +37,11 @@ val route : t -> input:int -> output:int -> int list option
 
 val release : t -> int list -> unit
 (** Un-busy a previously routed path. *)
+
+val occupy : t -> int list -> unit
+(** Mark a path busy without routing it — the adoption hook for
+    externally computed layouts (e.g. a backtracking re-lay migrating
+    every live call at once). *)
 
 val route_many : t -> (int * int) list -> (int * int * int list option) list
 (** Route requests in order; each result keeps its request. *)

@@ -1,6 +1,4 @@
 module Network = Ftcsn_networks.Network
-module Digraph = Ftcsn_graph.Digraph
-module Bitset = Ftcsn_util.Bitset
 module Rng = Ftcsn_prng.Rng
 
 type path_choice =
@@ -15,10 +13,12 @@ type stats = {
   max_concurrent : int;
 }
 
+(* a thin bookkeeping layer over the Greedy router: terminal-index call
+   table, per-call paths and cumulative counters; all path finding —
+   including the randomised tie-break — lives in Greedy *)
 type t = {
   net : Network.t;
-  allowed : int -> bool;
-  busy_set : Bitset.t;
+  router : Greedy.t;
   calls : (int, int * int list) Hashtbl.t;
       (** input index -> (output index, path) *)
   output_busy : bool array;
@@ -27,14 +27,13 @@ type t = {
   mutable blocked : int;
   mutable released : int;
   mutable max_concurrent : int;
-  choice : path_choice;
 }
 
-let create ?(allowed = fun _ -> true) ~choice net =
+let create ?allowed ~choice net =
+  let rng = match choice with Shortest -> None | Randomised rng -> Some rng in
   {
     net;
-    allowed;
-    busy_set = Bitset.create (Digraph.vertex_count net.Network.graph);
+    router = Greedy.create ?allowed ?rng net;
     calls = Hashtbl.create 64;
     output_busy = Array.make (Network.n_outputs net) false;
     offered = 0;
@@ -42,41 +41,7 @@ let create ?(allowed = fun _ -> true) ~choice net =
     blocked = 0;
     released = 0;
     max_concurrent = 0;
-    choice;
   }
-
-(* BFS with optionally shuffled neighbour order: with shuffling each run
-   samples one of the shortest-ish idle paths. *)
-let find_path t ~src ~dst =
-  let g = t.net.Network.graph in
-  let n = Digraph.vertex_count g in
-  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
-  let parent = Array.make n (-1) in
-  let seen = Array.make n false in
-  seen.(src) <- true;
-  let queue = Queue.create () in
-  Queue.add src queue;
-  let found = ref false in
-  while (not !found) && not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let neighbours = Digraph.out_neighbours g u in
-    (match t.choice with
-    | Shortest -> ()
-    | Randomised rng -> Rng.shuffle_in_place rng neighbours);
-    Array.iter
-      (fun v ->
-        if (not !found) && (not seen.(v)) && (v = dst || ok v) then begin
-          seen.(v) <- true;
-          parent.(v) <- u;
-          if v = dst then found := true else Queue.add v queue
-        end)
-      neighbours
-  done;
-  if not !found then None
-  else begin
-    let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
-    Some (walk dst [])
-  end
 
 let request t ~input ~output =
   if Hashtbl.mem t.calls input then
@@ -86,12 +51,11 @@ let request t ~input ~output =
   t.offered <- t.offered + 1;
   let src = t.net.Network.inputs.(input)
   and dst = t.net.Network.outputs.(output) in
-  match find_path t ~src ~dst with
+  match Greedy.route t.router ~input:src ~output:dst with
   | None ->
       t.blocked <- t.blocked + 1;
       None
   | Some path ->
-      List.iter (Bitset.add t.busy_set) path;
       Hashtbl.replace t.calls input (output, path);
       t.output_busy.(output) <- true;
       t.served <- t.served + 1;
@@ -102,7 +66,7 @@ let hangup t ~input =
   match Hashtbl.find_opt t.calls input with
   | None -> raise Not_found
   | Some (output, path) ->
-      List.iter (Bitset.remove t.busy_set) path;
+      Greedy.release t.router path;
       Hashtbl.remove t.calls input;
       t.output_busy.(output) <- false;
       t.released <- t.released + 1

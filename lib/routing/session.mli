@@ -5,7 +5,12 @@
     idle terminals must be servable.  The simulator drives a network
     through random arrival/departure traffic — with either cooperative
     (shortest-path) or randomised path choice, the latter standing in for
-    the adversary in stress tests — and records every blocking event. *)
+    the adversary in stress tests — and records every blocking event.
+
+    Path finding delegates to the {!Greedy} router (this module is a thin
+    call-table and counter layer over it); the continuous-time analogue
+    with holding times, failures and steady-state estimates lives in
+    [Ftcsn_des.Traffic]. *)
 
 type path_choice =
   | Shortest  (** deterministic BFS path *)

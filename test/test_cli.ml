@@ -84,6 +84,47 @@ let test_degrade () =
   check_contains "degrade" out "ticks=200";
   check_contains "degrade" out "placed="
 
+let test_degrade_arrival () =
+  let code, out =
+    run "degrade --family ft -n 8 --hazard 1e-5 --arrival 0.3 --ticks 150 --seed 4"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "degrade arrival" out "ticks=150";
+  check_contains "degrade arrival" out "placed="
+
+let test_traffic () =
+  let code, out =
+    run
+      "traffic --family crossbar -n 4 --load 2 --warmup 100 --calls 500 \
+       --trials 2 --seed 3"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic" out "offered load 2 Erlang, holding exp";
+  check_contains "traffic" out "blocking:";
+  check_contains "traffic" out "95% CI";
+  check_contains "traffic" out "occupancy (Little's L):"
+
+let test_traffic_json () =
+  let code, out =
+    run
+      "traffic --family benes -n 8 --load 1 --warmup 50 --calls 300 \
+       --trials 2 --seed 3 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic json" out "\"blocking\":";
+  check_contains "traffic json" out "\"occupancy\":";
+  check_contains "traffic json" out "\"replications\":2"
+
+let test_traffic_pareto_rearrange () =
+  let code, out =
+    run
+      "traffic --family benes -n 8 --load 2 --holding pareto:2.5 --policy \
+       rearrange:2000 --warmup 50 --calls 300 --trials 2 --seed 5"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic pareto" out "holding pareto:2.5";
+  check_contains "traffic pareto" out "blocking:"
+
 let test_critical () =
   let code, out =
     run "critical --family benes -n 4 --eps 0.05 --sample 6 --trials 50 --seed 2"
@@ -222,6 +263,35 @@ let test_cli_determinism () =
       base ^ " --jobs 4 --trace " ^ trace;
     ]
 
+(* the blocking line must be bit-identical across --jobs and with tracing *)
+let traffic_blocking_line args =
+  let code, out = run args in
+  Alcotest.(check int) ("exit of " ^ args) 0 code;
+  match
+    List.find_opt
+      (fun l -> String.length l > 9 && String.sub l 0 9 = "blocking:")
+      (String.split_on_char '\n' out)
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no blocking line in output of %s:\n%s" args out
+
+let test_traffic_determinism () =
+  let base =
+    "traffic --family crossbar -n 4 --load 2 --warmup 100 --calls 400 \
+     --trials 4 --seed 7"
+  in
+  let reference = traffic_blocking_line (base ^ " --jobs 1") in
+  with_tmp ".jsonl" @@ fun trace ->
+  List.iter
+    (fun args ->
+      Alcotest.(check string) ("blocking of " ^ args) reference
+        (traffic_blocking_line args))
+    [
+      base ^ " --jobs 1 --trace " ^ trace;
+      base ^ " --jobs 4";
+      base ^ " --jobs 4 --trace " ^ trace;
+    ]
+
 (* ---------- error normalization: message format and exit code 2 ---------- *)
 
 let check_usage_error name args fragment =
@@ -336,6 +406,32 @@ let test_error_eps_grid_with_target_ci () =
     "faults --family benes -n 8 --eps-grid 0.01:0.1:3 --target-ci 0.05"
     "--eps-grid cannot be combined with --target-ci"
 
+let test_error_traffic_load () =
+  check_usage_error "traffic load" "traffic --family benes -n 8 --load=-1"
+    "invalid --load value"
+
+let test_error_traffic_holding () =
+  check_usage_error "traffic holding pareto:0.5"
+    "traffic --family benes -n 8 --holding pareto:0.5" "invalid --holding value";
+  check_usage_error "traffic holding gibberish"
+    "traffic --family benes -n 8 --holding gibberish" "invalid --holding value"
+
+let test_error_traffic_policy () =
+  check_usage_error "traffic policy" "traffic --family benes -n 8 --policy bogus"
+    "invalid --policy value";
+  check_usage_error "traffic policy budget"
+    "traffic --family benes -n 8 --policy rearrange:0" "must be an integer >= 1"
+
+let test_error_traffic_mtbf () =
+  check_usage_error "traffic mtbf" "traffic --family benes -n 8 --mtbf 0"
+    "invalid --mtbf value"
+
+let test_error_degrade_arrival () =
+  check_usage_error "degrade arrival 1.5"
+    "degrade --family ft -n 8 --arrival 1.5" "invalid --arrival value";
+  check_usage_error "degrade arrival negative"
+    "degrade --family ft -n 8 --arrival=-0.1" "invalid --arrival value"
+
 let test_help () =
   let code, out = run "--help=plain" in
   Alcotest.(check int) "exit code" 0 code;
@@ -343,8 +439,8 @@ let test_help () =
   List.iter
     (fun sub -> check_contains "help lists subcommand" out sub)
     [
-      "build"; "faults"; "route"; "check"; "survive"; "curve"; "degrade";
-      "critical"; "render";
+      "build"; "faults"; "route"; "check"; "survive"; "curve"; "traffic";
+      "degrade"; "critical"; "render";
     ]
 
 let () =
@@ -368,6 +464,13 @@ let () =
           Alcotest.test_case "faults eps-grid" `Quick test_faults_eps_grid;
           Alcotest.test_case "route eps-grid" `Quick test_route_eps_grid;
           Alcotest.test_case "degrade" `Quick test_degrade;
+          Alcotest.test_case "degrade arrival" `Quick test_degrade_arrival;
+          Alcotest.test_case "traffic" `Quick test_traffic;
+          Alcotest.test_case "traffic json" `Quick test_traffic_json;
+          Alcotest.test_case "traffic pareto + rearrange" `Quick
+            test_traffic_pareto_rearrange;
+          Alcotest.test_case "traffic bit-identical across trace/jobs" `Slow
+            test_traffic_determinism;
           Alcotest.test_case "critical" `Quick test_critical;
           Alcotest.test_case "render grid" `Quick test_render_grid;
           Alcotest.test_case "render census" `Quick test_render_census;
@@ -402,5 +505,11 @@ let () =
             test_error_eps_grid_range;
           Alcotest.test_case "eps-grid with target-ci" `Quick
             test_error_eps_grid_with_target_ci;
+          Alcotest.test_case "traffic load" `Quick test_error_traffic_load;
+          Alcotest.test_case "traffic holding" `Quick test_error_traffic_holding;
+          Alcotest.test_case "traffic policy" `Quick test_error_traffic_policy;
+          Alcotest.test_case "traffic mtbf" `Quick test_error_traffic_mtbf;
+          Alcotest.test_case "degrade arrival range" `Quick
+            test_error_degrade_arrival;
         ] );
     ]

@@ -415,9 +415,70 @@ let prop_session_conservation =
       st.Session.offered = st.Session.served + st.Session.blocked
       && st.Session.released <= st.Session.served)
 
+(* drive a session by hand (tracking every path it returns) and check the
+   §2 invariants at every step: live paths pairwise vertex-disjoint,
+   counters conserved, max_concurrent the true running maximum *)
+let prop_session_invariants =
+  QCheck2.Test.make
+    ~name:"session invariants: disjoint live paths, conserved counters"
+    ~count:30
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 8 in
+      let net = Benes.network (Benes.make n) in
+      let s =
+        Session.create
+          ~choice:(Session.Randomised (Rng.create ~seed:(seed + 1)))
+          net
+      in
+      let paths = Hashtbl.create 8 in
+      let my_max = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let live = Session.live_calls s in
+        let nlive = List.length live in
+        if Rng.float rng < 0.6 && nlive < n then begin
+          let all = List.init n Fun.id in
+          let ins = List.filter (fun i -> not (List.mem_assoc i live)) all in
+          let outs = List.map snd live in
+          let louts = List.filter (fun o -> not (List.mem o outs)) all in
+          if ins <> [] && louts <> [] then begin
+            let i = List.nth ins (Rng.int rng (List.length ins)) in
+            let o = List.nth louts (Rng.int rng (List.length louts)) in
+            match Session.request s ~input:i ~output:o with
+            | Some p -> Hashtbl.replace paths i p
+            | None -> ()
+          end
+        end
+        else if nlive > 0 then begin
+          let i, _ = List.nth live (Rng.int rng nlive) in
+          Session.hangup s ~input:i;
+          Hashtbl.remove paths i
+        end;
+        let seen = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun _ p ->
+            List.iter
+              (fun v ->
+                if Hashtbl.mem seen v then ok := false
+                else Hashtbl.add seen v ())
+              p)
+          paths;
+        let cur = List.length (Session.live_calls s) in
+        if cur > !my_max then my_max := cur
+      done;
+      let st = Session.stats s in
+      !ok
+      && st.Session.offered = st.Session.served + st.Session.blocked
+      && st.Session.released <= st.Session.served
+      && st.Session.served - st.Session.released = Hashtbl.length paths
+      && st.Session.max_concurrent = !my_max)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_greedy_paths_valid; prop_session_conservation ]
+    [ prop_greedy_paths_valid; prop_session_conservation;
+      prop_session_invariants ]
 
 let () =
   Alcotest.run "ftcsn_routing"
