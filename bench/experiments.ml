@@ -21,6 +21,7 @@ module Random_regular = Ftcsn_expander.Random_regular
 module Check = Ftcsn_expander.Check
 module Spectral = Ftcsn_expander.Spectral
 module Network = Ftcsn_networks.Network
+module Topology = Ftcsn_networks.Topology
 module Benes = Ftcsn_networks.Benes
 module Butterfly = Ftcsn_networks.Butterfly
 module Multibutterfly = Ftcsn_networks.Multibutterfly
@@ -35,6 +36,7 @@ module Pipeline = Ftcsn.Pipeline
 module Directed_grid = Ftcsn.Directed_grid
 module Tree_paths = Ftcsn.Tree_paths
 module Lower_bound = Ftcsn.Lower_bound
+module Tournament = Ftcsn.Tournament
 
 let quick = ref false
 
@@ -45,6 +47,33 @@ let trials base = if !quick then max 10 (base / 10) else base
 let seed_of name = Hashtbl.hash name land 0xFFFF
 
 let rng_for name = Rng.create ~seed:(seed_of name)
+
+(* Every registered topology family built at a requested n with default
+   parameters and a per-(experiment, family) deterministic rng; families
+   that refuse the size (exact power-of-two generators asked for an
+   off-grid n) are dropped, so registry-driven experiments pick up new
+   generators automatically. *)
+let registry_nets ~who ~n =
+  Ftcsn.Ft_topology.install ();
+  List.filter_map
+    (fun (gen : Topology.gen) ->
+      let name = gen.Topology.name in
+      match
+        Topology.build ~n
+          ~rng:(rng_for (Printf.sprintf "%s-build-%s" who name))
+          { Topology.family = name; args = [] }
+      with
+      | Ok b -> Some (name, b.Topology.net)
+      | Error _ -> None)
+    (Topology.all ())
+
+(* One network from a spec string, for experiments that compare a fixed
+   shortlist rather than the whole registry. *)
+let net_of_spec ~who ~n spec =
+  Ftcsn.Ft_topology.install ();
+  match Topology.build_string ~n ~rng:(rng_for (who ^ "-" ^ spec)) spec with
+  | Ok b -> b.Topology.net
+  | Error msg -> failwith msg
 
 let log2f x = log x /. log 2.0
 
@@ -165,7 +194,7 @@ let e2_size () =
       let n = Ft_params.n ft.Ft_network.params in
       let size = Network.size ft.Ft_network.net in
       let lg = log2f (float_of_int n) in
-      let benes = Network.size (Benes.network (Benes.make n)) in
+      let benes = Network.size (Benes.create n) in
       let cantor = Network.size (Cantor.make n) in
       Table.add_row t
         [
@@ -242,7 +271,7 @@ let e3_depth () =
           Table.fi n;
           Table.fi depth;
           Table.ff (float_of_int depth /. log4f (float_of_int n));
-          Table.fi (Network.depth (Benes.network (Benes.make n)));
+          Table.fi (Network.depth (Benes.create n));
           Table.ff (Lower_bound.theorem1_depth_bound ~n);
         ])
     [ 2; 3; 4; 5; 6 ];
@@ -450,7 +479,7 @@ let e6_shorting () =
     [
       (let ft = scaled_ft ~u:2 in ft.Ft_network.net);
       (let ft = scaled_ft ~u:3 in ft.Ft_network.net);
-      Benes.network (Benes.make 8);
+      Benes.create 8;
     ]
   in
   let eps_grid = [| 1e-2; 5e-2; 1e-1; 2e-1 |] in
@@ -511,28 +540,19 @@ let e6_shorting () =
 (* ------------------------------------------------------------------ *)
 
 let e7_survival () =
-  let ft = scaled_ft ~u:4 in
-  let n = Ft_params.n ft.Ft_network.params in
-  let rng_mb = rng_for "e7-mb" in
-  let nets =
-    [
-      ("ft-construction", ft.Ft_network.net);
-      ("benes", Benes.network (Benes.make n));
-      ("butterfly", Butterfly.make n);
-      ("multibutterfly-d2", Multibutterfly.make ~rng:rng_mb ~degree:2 n);
-      ("cantor", Cantor.make n);
-      ("clos-snb", Clos.nonblocking ~n);
-    ]
-  in
+  let n = 16 in
+  let nets = registry_nets ~who:"e7" ~n in
   let eps_list = [ 1e-4; 1e-3; 1e-2; 3e-2; 1e-1 ] in
   let eps_grid = Array.of_list eps_list in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
-           "E7  survival under faults (superconcentrator probes), n=%d" n)
+           "E7  survival under faults (superconcentrator probes), every \
+            registered family, n=%d"
+           n)
       ~columns:
-        (("network", Table.Left)
+        (("family", Table.Left)
         :: List.map (fun e -> (Table.fe e, Table.Right)) eps_list)
   in
   (* one coupled sweep per network instead of five independent runs; each
@@ -583,11 +603,8 @@ let e7_survival () =
              ests)
       in
       Table.add_row t2 (name :: row))
-    [
-      ("ft-construction", ft.Ft_network.net);
-      ("clos-snb", Clos.nonblocking ~n);
-      ("benes", Benes.network (Benes.make n));
-    ];
+    (List.map (fun spec -> (spec, net_of_spec ~who:"e7b" ~n spec))
+       [ "ft"; "clos"; "benes" ]);
   Table.print t2
 
 (* ------------------------------------------------------------------ *)
@@ -595,42 +612,47 @@ let e7_survival () =
 (* ------------------------------------------------------------------ *)
 
 let e8_landscape () =
+  Ftcsn.Ft_topology.install ();
+  let ns = [ 4; 8; 16; 32; 64 ] in
   let t =
-    Table.create ~title:"E8  size & depth landscape (size | depth)"
+    Table.create
+      ~title:"E8  size & depth landscape (size | depth), every registered family"
       ~columns:
-        [
-          ("n", Table.Right);
-          ("crossbar", Table.Right);
-          ("benes", Table.Right);
-          ("butterfly", Table.Right);
-          ("cantor", Table.Right);
-          ("valiant-sc", Table.Right);
-          ("ft-scaled", Table.Right);
-          ("FT/benes", Table.Right);
-        ]
+        (("family", Table.Left)
+        :: List.map (fun n -> (Printf.sprintf "n=%d" n, Table.Right)) ns)
   in
   List.iter
-    (fun u ->
-      let n = 1 lsl u in
-      let rng = rng_for "e8" in
-      let cell net = Printf.sprintf "%d | %d" (Network.size net) (Network.depth net) in
-      let ft = scaled_ft ~u in
-      let benes = Benes.network (Benes.make n) in
-      Table.add_row t
-        [
-          Table.fi n;
-          cell (Crossbar.square n);
-          cell benes;
-          cell (Butterfly.make n);
-          cell (Cantor.make n);
-          cell (Valiant_sc.make ~rng n);
-          cell ft.Ft_network.net;
-          Table.ff
-            (float_of_int (Network.size ft.Ft_network.net)
-            /. float_of_int (Network.size benes));
-        ])
-    [ 2; 3; 4; 5; 6 ];
+    (fun (gen : Topology.gen) ->
+      let name = gen.Topology.name in
+      let cells =
+        List.map
+          (fun n ->
+            match
+              Topology.build ~n
+                ~rng:(rng_for (Printf.sprintf "e8-%s-%d" name n))
+                { Topology.family = name; args = [] }
+            with
+            | Ok b ->
+                Printf.sprintf "%d | %d"
+                  (Network.size b.Topology.net)
+                  (Network.depth b.Topology.net)
+            | Error _ -> "-")
+          ns
+      in
+      Table.add_row t (name :: cells))
+    (Topology.all ());
   Table.print t;
+  (* the headline constant-factor comparison of the old table: the paper
+     construction against Benes, sizes from the registry builds *)
+  Printf.printf "FT/benes size ratio: %s\n"
+    (String.concat "  "
+       (List.map
+          (fun n ->
+            let size spec =
+              float_of_int (Network.size (net_of_spec ~who:"e8r" ~n spec))
+            in
+            Printf.sprintf "n=%d: %.1fx" n (size "ft" /. size "benes"))
+          ns));
   (* the [PY] depth/size tradeoff: recursive Clos at n = 64 *)
   let t2 =
     Table.create
@@ -747,7 +769,7 @@ let e10_zones () =
       let ft = scaled_ft ~u in
       analyse (Printf.sprintf "ft u=%d" u) ft.Ft_network.net)
     [ 2; 3; 4 ];
-  analyse "benes-64" (Benes.network (Benes.make 64));
+  analyse "benes-64" (Benes.create 64);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -870,26 +892,18 @@ let e11_degradation () =
         "E11  degradation under live failures (equal expected failures/tick)"
       ~columns:
         [
-          ("network", Table.Left);
+          ("family", Table.Left);
           ("size", Table.Right);
           ("failures/tick", Table.Right);
           ("mean ticks to degradation", Table.Right);
           ("switch failures absorbed", Table.Right);
         ]
   in
-  let rng = rng_for "e11" in
-  let ft = scaled_ft ~u:3 in
-  let nets =
-    [
-      ("ft-construction", ft.Ft_network.net);
-      ("benes", Benes.network (Benes.make 8));
-      ("clos-snb", Clos.nonblocking ~n:8);
-      ("cantor", Cantor.make 8);
-    ]
-  in
+  let nets = registry_nets ~who:"e11" ~n:8 in
   let lambda = 0.05 in
   List.iter
     (fun (name, net) ->
+      let rng = rng_for ("e11-" ^ name) in
       let hazard = lambda /. float_of_int (Network.size net) in
       let mttd =
         Ftcsn.Ft_session.mean_time_to_degradation ~jobs:!jobs ~rng ~hazard
@@ -905,6 +919,29 @@ let e11_degradation () =
         ])
     nets;
   Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* E12 — the reliability-per-edge tournament                           *)
+(* ------------------------------------------------------------------ *)
+
+let e12_tournament () =
+  (* every registered family through the same survival sweep and call
+     workload, scored on fault tolerance per switch (Tournament docs) *)
+  let eps = [| 1e-3; 1e-2; 5e-2 |] in
+  let traffic_trials = if !quick then 1 else 3 in
+  let calls = if !quick then 300 else 2000 in
+  let warmup = if !quick then 50 else 200 in
+  let outcome =
+    Tournament.run ~jobs:!jobs ~trials:(trials 200) ~eps ~traffic_trials
+      ~calls ~warmup ~n:16 ~seed:(seed_of "e12") ()
+  in
+  Table.print (Tournament.to_table outcome);
+  Printf.printf "front: * marks Pareto-optimal families (no rival with \
+                 fewer edges/terminal and better survival at eps=%g)\n"
+    eps.(Array.length eps - 1);
+  List.iter
+    (fun (family, reason) -> Printf.printf "skipped %s: %s\n" family reason)
+    outcome.Tournament.skipped
 
 (* ------------------------------------------------------------------ *)
 (* A2 — wide-sense strategies ([FFP])                                 *)
@@ -935,7 +972,7 @@ let a2_wide_sense () =
   stress "crossbar-4" (Crossbar.square 4);
   stress "clos-snb-4" (Clos.make { Clos.m = 3; k = 2; r = 2 });
   stress "clos-rearr-4" (Clos.make { Clos.m = 2; k = 2; r = 2 });
-  stress "benes-8" (Benes.network (Benes.make 8));
+  stress "benes-8" (Benes.create 8);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -1009,6 +1046,7 @@ let all : (string * string * (unit -> unit)) list =
     ("e9", "Lemma 1: tree leaf paths", e9_tree_paths);
     ("e10", "Theorem 1: zone certificates", e10_zones);
     ("e11", "degradation under live failures", e11_degradation);
+    ("e12", "reliability-per-edge tournament", e12_tournament);
     ("f1", "Figures 1-3: proof gadgets", f1_f3_gadgets);
     ("f4", "Figure 4: directed grid", f4_grid);
     ("f5", "Figure 5: composition census", f5_composition);

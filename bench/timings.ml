@@ -23,7 +23,7 @@ let benes_looping =
     (Staged.stage (fun () -> ignore (Benes.route benes pi)))
 
 let sc_probe =
-  let benes = Benes.network (Benes.make 64) in
+  let benes = Benes.create 64 in
   let rng = Rng.create ~seed:3 in
   Test.make ~name:"e7: superconcentrator flow probe (benes-64)"
     (Staged.stage (fun () ->
@@ -227,7 +227,7 @@ let engine_samples ?(quick = false) ~jobs_list () =
       (Ftcsn_reliability.Hammock.open_failure_prob ~jobs ~trace ~trials ~rng
          ~eps:0.05 h)
   in
-  let benes = Benes.network (Benes.make 16) in
+  let benes = Benes.create 16 in
   let survival_sweep ~jobs ~trials ~trace =
     let rng = Rng.create ~seed:43 in
     ignore
@@ -337,7 +337,50 @@ let engine_samples ?(quick = false) ~jobs_list () =
             ];
         }
   in
-  per_jobs @ [ curve; independent; traffic ]
+  (* Tournament smoke: the whole topology registry raced once at small
+     trial counts.  Tracks the wall-clock cost of the cross-family sweep
+     (rate = families/s) and hands `bench --smoke` a grep-able
+     tournament table. *)
+  Ftcsn.Ft_topology.install ();
+  let family_count = List.length (Ftcsn_networks.Topology.all ()) in
+  let tournament_last = ref None in
+  let tournament_sweep ~jobs ~trials:_ ~trace =
+    tournament_last :=
+      Some
+        (Ftcsn.Tournament.run ~jobs ~trace
+           ~trials:(if quick then 30 else 150)
+           ~eps:[| 1e-3; 1e-2; 5e-2 |]
+           ~traffic_trials:(if quick then 1 else 2)
+           ~calls:(if quick then 200 else 800)
+           ~warmup:(if quick then 50 else 100)
+           ~n:8 ~seed:46 ())
+  in
+  let tournament =
+    let t =
+      timed ~reps:1 ~bench:"tournament-smoke" ~jobs:1 ~trials:family_count
+        tournament_sweep
+    in
+    match !tournament_last with
+    | None -> t
+    | Some o ->
+        let open Ftcsn_obs.Json in
+        let entries = o.Ftcsn.Tournament.entries in
+        {
+          t with
+          extras =
+            [
+              ("families", Int (List.length entries));
+              ("skipped", Int (List.length o.Ftcsn.Tournament.skipped));
+              ( "pareto_front",
+                Int
+                  (List.length
+                     (List.filter
+                        (fun e -> e.Ftcsn.Tournament.pareto)
+                        entries)) );
+            ];
+        }
+  in
+  (tournament_last, per_jobs @ [ curve; independent; traffic; tournament ])
 
 let write_json path samples =
   let open Ftcsn_obs.Json in
@@ -374,7 +417,7 @@ let write_json path samples =
 let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
   print_endline "== engine throughput (Ftcsn_sim.Trials, wall clock) ==";
   let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
-  let samples = engine_samples ~quick ~jobs_list () in
+  let tournament_outcome, samples = engine_samples ~quick ~jobs_list () in
   List.iter
     (fun s ->
       Printf.printf
@@ -421,6 +464,12 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
       Printf.printf "survival curve (8pt) vs 8 independent runs: %.2fx faster\n"
         (r.seconds /. c.seconds)
   | _ -> ());
+  (* the registry-wide reliability-per-edge race at smoke trial counts;
+     printing it here puts a grep-able tournament table in `bench
+     --smoke` output *)
+  (match !tournament_outcome with
+  | Some o -> Ftcsn_util.Table.print (Ftcsn.Tournament.to_table o)
+  | None -> ());
   write_json json_path samples;
   Printf.printf "wrote %s\n\n" json_path;
   (* Regression guard (drives `bench --smoke` in CI): once one jobs>1

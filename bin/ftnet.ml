@@ -2,17 +2,25 @@
    network library.
 
    Subcommands:
-     build    construct a network and print its vital statistics
-     faults   sample a fault pattern and report the stripped survivor
-     route    route a permutation (greedy) through an optionally faulty net
-     check    run property deciders (superconcentrator / rearrangeable /
-              nonblocking) on a small network
-     survive  Monte-Carlo (eps, delta) survival estimation
-     curve    coupled survival curve over an --eps-grid (CRN sweep)
-     traffic  continuous-time call traffic: steady-state blocking with CIs
-     degrade  age the network under live traffic and report degradation
-     critical rank switches by Birnbaum criticality
-     render   DOT or ASCII renderings (grids, stage census)
+     build      construct a network and print its vital statistics
+     topologies list every registered network family (the --net registry)
+     faults     sample a fault pattern and report the stripped survivor
+     route      route a permutation (greedy) through an optionally faulty net
+     check      run property deciders (superconcentrator / rearrangeable /
+                nonblocking) on a small network
+     survive    Monte-Carlo (eps, delta) survival estimation
+     curve      coupled survival curve over an --eps-grid (CRN sweep)
+     traffic    continuous-time call traffic: steady-state blocking with CIs
+     tournament race every registered family through the survival sweep and
+                the traffic engine; Pareto table on edges-per-terminal
+     degrade    age the network under live traffic and report degradation
+     critical   rank switches by Birnbaum criticality
+     render     DOT or ASCII renderings (grids, stage census)
+
+   Networks come from the Ftcsn_networks.Topology registry: every
+   subcommand takes --net SPEC (e.g. benes:16, clos:n=64:rearr,
+   multibutterfly:degree=4); --family FAMILY is kept as an alias for
+   --net FAMILY.  `ftnet topologies' lists the registered families.
 
    Every Monte-Carlo workload runs on the Ftcsn_sim.Trials engine, so
    --jobs only changes wall-clock time: estimates, witnesses and ranks are
@@ -26,6 +34,7 @@
    paths print "ftnet: error: ..." on stderr and exit with code 2. *)
 
 module Network = Ftcsn_networks.Network
+module Topology = Ftcsn_networks.Topology
 module Rng = Ftcsn_prng.Rng
 module Fault = Ftcsn_reliability.Fault
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
@@ -298,58 +307,63 @@ let obs_args =
   Term.(
     const (fun m t p -> (m, t, p)) $ metrics_arg $ trace_arg $ progress_flag)
 
-let family_arg =
-  let families =
-    [
-      ("ft", `Ft); ("benes", `Benes); ("butterfly", `Butterfly);
-      ("multibutterfly", `Multibutterfly); ("cantor", `Cantor);
-      ("crossbar", `Crossbar); ("clos", `Clos); ("clos-rearr", `Clos_rearr);
-      ("valiant-sc", `Valiant); ("recursive-nb", `Recursive);
-      ("multistage", `Multistage);
-    ]
-  in
+(* --net SPEC selects from the Topology registry; --family FAMILY is the
+   historical spelling, kept as a plain alias for --net FAMILY. *)
+let net_arg =
   let doc =
-    "Network family: " ^ String.concat ", " (List.map fst families) ^ "."
+    "Network spec $(docv) = FAMILY[:ARG]... where each ARG is a bare \
+     integer (the terminal count), KEY=VALUE, or a flag name — e.g. \
+     benes:16, clos:n=64:rearr, multibutterfly:degree=4.  See `ftnet \
+     topologies' for the registered families."
   in
-  Arg.(value & opt (enum families) `Ft & info [ "family" ] ~docv:"FAMILY" ~doc)
+  Arg.(value & opt (some string) None & info [ "net" ] ~docv:"SPEC" ~doc)
 
-let log2_ceil n =
-  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
-  go 0 1
+let family_alias_arg =
+  let doc = "Network family name (alias for --net $(docv))." in
+  Arg.(value & opt (some string) None & info [ "family" ] ~docv:"FAMILY" ~doc)
 
-let build_network family ~n ~seed =
-  let rng = Seeds.network seed in
-  let pow2 = 1 lsl log2_ceil n in
-  match family with
-  | `Ft ->
-      let ft = Ftcsn.Ft_network.make ~rng (Ftcsn.Ft_params.scaled ~u:(log2_ceil n) ()) in
-      ft.Ftcsn.Ft_network.net
-  | `Benes -> Ftcsn_networks.Benes.network (Ftcsn_networks.Benes.make (max 2 pow2))
-  | `Butterfly -> Ftcsn_networks.Butterfly.make (max 2 pow2)
-  | `Multibutterfly ->
-      Ftcsn_networks.Multibutterfly.make ~rng ~degree:2 (max 2 pow2)
-  | `Cantor -> Ftcsn_networks.Cantor.make (max 2 pow2)
-  | `Crossbar -> Ftcsn_networks.Crossbar.square n
-  | `Clos -> Ftcsn_networks.Clos.nonblocking ~n
-  | `Clos_rearr -> Ftcsn_networks.Clos.rearrangeable ~n
-  | `Valiant -> Ftcsn_networks.Valiant_sc.make ~rng n
-  | `Recursive ->
-      let net, _ =
-        Ftcsn_networks.Recursive_nb.make ~rng
-          ~params:(Ftcsn_networks.Recursive_nb.scaled_params ())
-          ~levels:(max 1 ((log2_ceil n + 1) / 2))
-      in
-      net
-  | `Multistage ->
-      Ftcsn_networks.Multistage.network (Ftcsn_networks.Multistage.make ~levels:2 n)
+let spec_args =
+  Term.(const (fun net family -> (net, family)) $ net_arg $ family_alias_arg)
+
+(* Resolve --net/--family, build through the registry, and warn when the
+   family snapped n to its natural grid (the old build_network rounded
+   silently).  Exits 2 with the registry's normalized message on an
+   unknown family/parameter. *)
+let build_network (net, family) ~n ~seed =
+  let spec =
+    match (net, family) with
+    | Some _, Some _ -> die "--net and --family cannot both be given"
+    | Some s, None -> s
+    | None, Some f -> f
+    | None, None -> "ft"
+  in
+  let n = check_pos "-n" n in
+  match Topology.build_string ~n ~rng:(Seeds.network seed) spec with
+  | Error msg -> die "%s" msg
+  | Ok built ->
+      if built.Topology.n_effective <> built.Topology.n_requested then
+        Printf.eprintf
+          "ftnet: warning: family %s snapped n=%d to its natural grid \
+           (effective n=%d)\n%!"
+          built.Topology.gen.Topology.name built.Topology.n_requested
+          built.Topology.n_effective;
+      built
+
+let build_net netspec ~n ~seed = (build_network netspec ~n ~seed).Topology.net
 
 (* ---------- build ---------- *)
 
 let build_cmd =
   let run family n seed =
-    let net = build_network family ~n ~seed in
+    let built = build_network family ~n ~seed in
+    let net = built.Topology.net in
     let g = net.Network.graph in
     Format.printf "%a@." Network.pp net;
+    Format.printf "family: %s@." built.Topology.gen.Topology.name;
+    if built.Topology.n_effective <> built.Topology.n_requested then
+      Format.printf "effective n: %d (requested %d)@."
+        built.Topology.n_effective built.Topology.n_requested
+    else Format.printf "effective n: %d@." built.Topology.n_effective;
     Format.printf "acyclic: %b@." (Network.is_acyclic net);
     Format.printf "vertices: %d@." (Ftcsn_graph.Digraph.vertex_count g);
     let p = Ftcsn_graph.Metrics.degree_profile g in
@@ -362,7 +376,54 @@ let build_cmd =
       (Ftcsn_graph.Metrics.diameter_lower_bound g ~samples:8 ~rng)
   in
   let doc = "Construct a network and print size, depth and degree stats." in
-  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ family_arg $ n_arg $ seed_arg)
+  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ spec_args $ n_arg $ seed_arg)
+
+(* ---------- topologies ---------- *)
+
+let topologies_cmd =
+  let run names_only =
+    let gens = Topology.all () in
+    if names_only then
+      List.iter (fun (g : Topology.gen) -> print_endline g.Topology.name) gens
+    else begin
+      Format.printf
+        "registered network families (use --net FAMILY[:ARG]...):@.";
+      List.iter
+        (fun (g : Topology.gen) ->
+          let params =
+            List.map
+              (fun (p : Topology.param) ->
+                match p.Topology.kind with
+                | `Flag -> p.Topology.key
+                | `Int -> p.Topology.key ^ "=INT")
+              g.Topology.params
+          in
+          let extras =
+            (match g.Topology.aliases with
+            | [] -> []
+            | a -> [ "aliases: " ^ String.concat ", " a ])
+            @
+            match params with
+            | [] -> []
+            | ps -> [ "params: " ^ String.concat ", " ps ]
+          in
+          Format.printf "  %-16s %s%s@." g.Topology.name g.Topology.doc
+            (match extras with
+            | [] -> ""
+            | es -> "  (" ^ String.concat "; " es ^ ")"))
+        gens
+    end
+  in
+  let names_only =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:
+            "Print only the canonical family names, one per line (for \
+             scripting loops over the registry).")
+  in
+  let doc = "List every registered network family with its parameters." in
+  Cmd.v (Cmd.info "topologies" ~doc) Term.(const run $ names_only)
 
 (* ---------- faults ---------- *)
 
@@ -376,7 +437,7 @@ let faults_cmd =
            half-width target is ill-defined across a curve)";
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.faults seed in
     let m = Network.size net in
     let pattern = Fault.sample rng ~eps_open:eps ~eps_close:eps ~m in
@@ -468,7 +529,7 @@ let faults_cmd =
   let doc = "Sample a fault pattern and report the stripped survivor." in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
+      const run $ spec_args $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
       $ radius $ trials $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- route ---------- *)
@@ -483,7 +544,7 @@ let route_cmd =
            half-width target is ill-defined across a curve)";
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.route seed in
     let n' = min (Network.n_inputs net) (Network.n_outputs net) in
     match eps_grid with
@@ -611,7 +672,7 @@ let route_cmd =
   let doc = "Greedily route a random permutation, optionally under faults." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
+      const run $ spec_args $ n_arg $ seed_arg $ eps_arg $ eps_grid_arg
       $ verbose $ trials $ jobs_arg $ target_ci_arg $ obs_args)
 
 (* ---------- check ---------- *)
@@ -622,7 +683,7 @@ let check_cmd =
     let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.check seed in
     Format.printf "%a@." Network.pp net;
     phase obs "superconcentrator" (fun () ->
@@ -705,7 +766,7 @@ let check_cmd =
   let doc = "Decide/estimate the three §2 properties for a network." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ trials $ jobs_arg
+      const run $ spec_args $ n_arg $ seed_arg $ trials $ jobs_arg
       $ target_ci_arg $ obs_args)
 
 (* ---------- survive ---------- *)
@@ -716,7 +777,7 @@ let survive_cmd =
     let jobs = check_jobs jobs in
     let target_ci = parse_target_ci target_ci in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.survive seed in
     let last_rate = ref 0.0 in
     let progress p =
@@ -744,7 +805,7 @@ let survive_cmd =
   let doc = "Monte-Carlo (eps, delta) survival estimation." in
   Cmd.v (Cmd.info "survive" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ trials $ jobs_arg
+      const run $ spec_args $ n_arg $ seed_arg $ eps_arg $ trials $ jobs_arg
       $ target_ci_arg $ obs_args)
 
 (* ---------- curve ---------- *)
@@ -759,7 +820,7 @@ let curve_cmd =
       | None -> assert false
     in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.curve seed in
     let ests =
       phase obs "estimate" (fun () ->
@@ -828,7 +889,7 @@ let curve_cmd =
   in
   Cmd.v (Cmd.info "curve" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_grid $ trials
+      const run $ spec_args $ n_arg $ seed_arg $ eps_grid $ trials
       $ jobs_arg $ json $ obs_args)
 
 (* ---------- traffic ---------- *)
@@ -881,7 +942,7 @@ let traffic_cmd =
       with Invalid_argument msg -> die "%s" msg
     in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.traffic seed in
     let s =
       phase obs "estimate" (fun () ->
@@ -1024,7 +1085,7 @@ let traffic_cmd =
   in
   Cmd.v (Cmd.info "traffic" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ load $ holding $ mtbf
+      const run $ spec_args $ n_arg $ seed_arg $ load $ holding $ mtbf
       $ mttr $ warmup $ calls $ batches $ policy $ trials $ jobs_arg $ json
       $ obs_args)
 
@@ -1038,7 +1099,7 @@ let degrade_cmd =
     if not (arrival >= 0.0 && arrival <= 1.0) then
       die "invalid --arrival value %g: must be a probability in [0, 1]" arrival;
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.degrade seed in
     if trials <= 1 then begin
       let stats =
@@ -1091,7 +1152,7 @@ let degrade_cmd =
   let doc = "Age the network under live traffic and report degradation." in
   Cmd.v (Cmd.info "degrade" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ hazard $ arrival $ ticks
+      const run $ spec_args $ n_arg $ seed_arg $ hazard $ arrival $ ticks
       $ trials $ jobs_arg $ obs_args)
 
 (* ---------- critical ---------- *)
@@ -1102,7 +1163,7 @@ let critical_cmd =
     let jobs = check_jobs jobs in
     let sample = check_pos "--sample" sample in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_network family ~n ~seed) in
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
     let rng = Seeds.critical seed in
     let g = net.Network.graph in
     (* event: the stripped survivor fails the class-fair probes; runs on
@@ -1142,7 +1203,7 @@ let critical_cmd =
   let doc = "Rank switches by Birnbaum criticality for the survival event." in
   Cmd.v (Cmd.info "critical" ~doc)
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ eps_arg $ sample $ trials
+      const run $ spec_args $ n_arg $ seed_arg $ eps_arg $ sample $ trials
       $ jobs_arg $ obs_args)
 
 (* ---------- render ---------- *)
@@ -1154,12 +1215,12 @@ let render_cmd =
         let s = Ftcsn.Directed_grid.make ~rows:(max 1 n) ~stages:8 in
         print_string (Ftcsn.Directed_grid.render s)
     | `Census ->
-        let net = build_network family ~n ~seed in
+        let net = build_net family ~n ~seed in
         print_string
           (Ftcsn_graph.Render.ascii_stages net.Network.graph
              ~inputs:(Array.to_list net.Network.inputs))
     | `Dot ->
-        let net = build_network family ~n ~seed in
+        let net = build_net family ~n ~seed in
         print_string (Ftcsn_graph.Render.to_dot net.Network.graph)
   in
   let kind =
@@ -1170,15 +1231,140 @@ let render_cmd =
   in
   let doc = "ASCII/DOT renderings." in
   Cmd.v (Cmd.info "render" ~doc)
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ kind)
+    Term.(const run $ spec_args $ n_arg $ seed_arg $ kind)
+
+(* ---------- tournament ---------- *)
+
+let tournament_cmd =
+  let run n seed eps_grid trials traffic_trials calls warmup load mtbf mttr
+      jobs json obsargs =
+    let n = check_pos "-n" n in
+    let trials = check_pos "--trials" trials in
+    let traffic_trials = check_pos "--traffic-trials" traffic_trials in
+    let calls = check_pos "--calls" calls in
+    if warmup < 0 then
+      die "invalid --warmup value %d: must be an integer >= 0" warmup;
+    let jobs = check_jobs jobs in
+    let grid =
+      match parse_eps_grid (Some eps_grid) with
+      | Some g -> g
+      | None -> assert false
+    in
+    (match load with
+    | Some l when not (l > 0.0 && Float.is_finite l) ->
+        die "invalid --load value %g: must be a finite offered load > 0" l
+    | _ -> ());
+    if not (mtbf > 0.0) then
+      die "invalid --mtbf value %g: must be > 0 (use a huge value for a \
+           fault-free race)" mtbf;
+    if not (mttr > 0.0) then
+      die "invalid --mttr value %g: must be > 0" mttr;
+    with_obs obsargs @@ fun obs ->
+    let note fam =
+      if Option.is_some obs.progress then
+        Printf.eprintf "tournament: sweeping %s\n%!" fam
+    in
+    let outcome =
+      phase obs "tournament" (fun () ->
+          Ftcsn.Tournament.run ~jobs ?trace:obs.trace ?progress:obs.progress
+            ~note ?load ~mtbf ~mttr ~trials ~eps:grid ~traffic_trials ~calls
+            ~warmup ~n ~seed ())
+    in
+    if json then
+      print_endline (Obs_json.to_string (Ftcsn.Tournament.to_json outcome))
+    else begin
+      Ftcsn_util.Table.print (Ftcsn.Tournament.to_table outcome);
+      Format.printf
+        "front: * = Pareto-optimal on (edges/terminal, survival at \
+         eps=%g); traffic: load %s Erlangs, mtbf %g, mttr %g@."
+        grid.(Array.length grid - 1)
+        (match load with Some l -> Printf.sprintf "%g" l | None -> "n/4")
+        mtbf mttr;
+      List.iter
+        (fun (fam, why) -> Format.printf "skipped %s: %s@." fam why)
+        outcome.Ftcsn.Tournament.skipped
+    end
+  in
+  let eps_grid =
+    let doc =
+      "ε grid LO:HI:STEPS[:log|:lin] for the coupled survival sweep; the \
+       Pareto front is computed at the harshest (last) grid point."
+    in
+    Arg.(
+      value
+      & opt string "0.001:0.05:4:log"
+      & info [ "eps-grid" ] ~docv:"GRID" ~doc)
+  in
+  let trials =
+    trials_arg ~default:150
+      ~doc:"Coupled survival trials per family (shared by every grid point)."
+  in
+  let traffic_trials =
+    Arg.(
+      value & opt int 3
+      & info [ "traffic-trials" ] ~docv:"T"
+          ~doc:"Traffic replications per family (one substream each).")
+  in
+  let calls =
+    Arg.(
+      value & opt int 1000
+      & info [ "calls" ] ~docv:"CALLS"
+          ~doc:"Offered calls measured per traffic replication.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 100
+      & info [ "warmup" ] ~docv:"CALLS"
+          ~doc:"Offered calls discarded before the measured window opens.")
+  in
+  let load =
+    Arg.(
+      value & opt (some float) None
+      & info [ "load" ] ~docv:"ERLANGS"
+          ~doc:
+            "Offered load in Erlangs (default: effective n / 4, scaling \
+             the workload with each family's terminal count).")
+  in
+  let mtbf =
+    Arg.(
+      value & opt float 500.0
+      & info [ "mtbf" ] ~docv:"T"
+          ~doc:
+            "Per-switch mean time between failures during the traffic \
+             phase (the tournament races networks under fire by default).")
+  in
+  let mttr =
+    Arg.(
+      value & opt float 10.0
+      & info [ "mttr" ] ~docv:"T" ~doc:"Per-switch mean time to repair.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the full result (per-family curves) as one JSON object.")
+  in
+  let doc =
+    "Race every registered topology family through the coupled survival \
+     sweep and the call-traffic engine at a common n; report fault \
+     tolerance against edges per terminal with a Pareto-front marker."
+  in
+  Cmd.v (Cmd.info "tournament" ~doc)
+    Term.(
+      const run $ n_arg $ seed_arg $ eps_grid $ trials $ traffic_trials
+      $ calls $ warmup $ load $ mtbf $ mttr $ jobs_arg $ json $ obs_args)
 
 let () =
+  (* the paper's family lives in lib/core, which the networks registry
+     cannot depend on; install it before any spec is parsed *)
+  Ftcsn.Ft_topology.install ();
   let doc = "fault-tolerant circuit-switching networks (Pippenger & Lin)" in
   let info = Cmd.info "ftnet" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
-            build_cmd; faults_cmd; route_cmd; check_cmd; survive_cmd;
-            curve_cmd; traffic_cmd; degrade_cmd; critical_cmd; render_cmd;
+            build_cmd; topologies_cmd; faults_cmd; route_cmd; check_cmd;
+            survive_cmd; curve_cmd; traffic_cmd; tournament_cmd; degrade_cmd;
+            critical_cmd; render_cmd;
           ]))

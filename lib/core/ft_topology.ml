@@ -1,0 +1,33 @@
+module Topology = Ftcsn_networks.Topology
+
+let log2_ceil n =
+  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+let install () =
+  if Topology.find "ft" = None then
+    Topology.register
+      {
+        Topology.name = "ft";
+        aliases = [ "paper" ];
+        doc = "the paper's fault-tolerant nonblocking network (scaled constants)";
+        params =
+          [
+            { key = "gamma"; pdoc = "oversizing levels (default 2)"; kind = `Int };
+            { key = "degree"; pdoc = "expander degree (default 4)"; kind = `Int };
+            { key = "grid-stages"; pdoc = "grid width (default u)"; kind = `Int };
+          ];
+        exact_pow2 = false;
+        build =
+          (fun ~args ~n ~rng ->
+            let u = log2_ceil n in
+            let gamma = Topology.int_arg_opt ~family:"ft" args "gamma" in
+            let degree = Topology.int_arg_opt ~family:"ft" args "degree" in
+            let grid_stages =
+              Topology.int_arg_opt ~family:"ft" args "grid-stages"
+            in
+            let params =
+              Ft_params.scaled ?gamma ?degree ?grid_stages ~u ()
+            in
+            (Ft_network.make ~rng params).Ft_network.net);
+      }

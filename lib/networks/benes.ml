@@ -69,6 +69,8 @@ let make n =
 
 let network t = t.net
 
+let create n = network (make n)
+
 (* Looping algorithm: two requests sharing an input switch (or an output
    switch) must take different halves.  The constraint graph is a union
    of two perfect matchings, i.e. a disjoint union of even cycles, which

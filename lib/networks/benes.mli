@@ -19,6 +19,9 @@ val make : int -> t
 
 val network : t -> Network.t
 
+val create : int -> Network.t
+(** [network (make n)] — for callers that only need the graph. *)
+
 val route : t -> Ftcsn_util.Perm.t -> int list array
 (** [route t pi] = vertex-disjoint paths, one per input [i], from input
     vertex [i] to output vertex [pi.(i)].  Paths include both endpoints.

@@ -1,0 +1,29 @@
+module Digraph = Ftcsn_graph.Digraph
+
+let log2_exact n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Butterfly_pair.make: n must be a power of two >= 2";
+  let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+let make n =
+  let k = log2_exact n in
+  let b = Digraph.Builder.create () in
+  let _first = Digraph.Builder.add_vertices b (((2 * k) + 1) * n) in
+  let id level row = (level * n) + row in
+  for level = 0 to (2 * k) - 1 do
+    (* first butterfly crosses bit ℓ; the mirrored one crosses them in
+       reverse order — the Beneš wiring without the shared middle column *)
+    let bit = if level < k then level else (2 * k) - 1 - level in
+    for row = 0 to n - 1 do
+      ignore (Digraph.Builder.add_edge b ~src:(id level row) ~dst:(id (level + 1) row));
+      ignore
+        (Digraph.Builder.add_edge b ~src:(id level row)
+           ~dst:(id (level + 1) (row lxor (1 lsl bit))))
+    done
+  done;
+  Network.make
+    ~name:(Printf.sprintf "butterfly-pair-%d" n)
+    ~graph:(Digraph.Builder.freeze b)
+    ~inputs:(Array.init n (fun row -> id 0 row))
+    ~outputs:(Array.init n (fun row -> id (2 * k) row))

@@ -1,0 +1,13 @@
+(** Superconcentration on a pair of butterflies (Bradley, PAPERS.md).
+
+    Two k-dimensional butterflies concatenated back to back — the
+    second with its bit order mirrored — form a superconcentrator on
+    n = 2^k terminals: the Beneš topology read as a flow network.
+    Bradley's result is that the pair (under dilation-1 embeddings)
+    superconcentrates; here it gives the registry a Θ(n log n)
+    superconcentrator contender far denser in paths than a single
+    butterfly (4nk edges, depth 2k) yet much smaller than the paper's
+    fault-tolerant Θ(n log² n) construction. *)
+
+val make : int -> Network.t
+(** [make n] for n a power of two ≥ 2.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,48 @@
+module Digraph = Ftcsn_graph.Digraph
+
+let log2_exact ~who n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg (who ^ ": n must be a power of two >= 2");
+  let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+(* k stages over n wire rows; [ports ~level ~row] gives the two next-stage
+   rows reachable from (level, row) *)
+let wired ~who ~prefix ~ports n =
+  let k = log2_exact ~who n in
+  let b = Digraph.Builder.create () in
+  let _first = Digraph.Builder.add_vertices b ((k + 1) * n) in
+  let id level row = (level * n) + row in
+  for level = 0 to k - 1 do
+    for row = 0 to n - 1 do
+      let d0, d1 = ports ~k ~level ~row in
+      ignore (Digraph.Builder.add_edge b ~src:(id level row) ~dst:(id (level + 1) d0));
+      ignore (Digraph.Builder.add_edge b ~src:(id level row) ~dst:(id (level + 1) d1))
+    done
+  done;
+  Network.make
+    ~name:(Printf.sprintf "%s-%d" prefix n)
+    ~graph:(Digraph.Builder.freeze b)
+    ~inputs:(Array.init n (fun row -> id 0 row))
+    ~outputs:(Array.init n (fun row -> id k row))
+
+let delta n =
+  wired ~who:"Delta.delta" ~prefix:"delta" n ~ports:(fun ~k ~level ~row ->
+      (row, row lxor (1 lsl (k - 1 - level))))
+
+let omega n =
+  wired ~who:"Delta.omega" ~prefix:"omega" n ~ports:(fun ~k ~level:_ ~row ->
+      (* perfect shuffle: left rotation of the k-bit row, then exchange *)
+      let s = ((row lsl 1) land (n - 1)) lor (row lsr (k - 1)) in
+      (s, s lxor 1))
+
+let banyan n =
+  wired ~who:"Delta.banyan" ~prefix:"banyan" n ~ports:(fun ~k ~level ~row ->
+      (* baseline wiring: inverse shuffle within the current block; the
+         blocks halve at every stage *)
+      let sb = k - level in
+      let size = 1 lsl sb in
+      let local = row land (size - 1) in
+      let base = row - local in
+      let inv x = (x lsr 1) lor ((x land 1) lsl (sb - 1)) in
+      (base + inv (local land lnot 1), base + inv (local lor 1)))

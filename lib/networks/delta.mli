@@ -1,0 +1,25 @@
+(** The classical log-depth unique-path (banyan-class) networks:
+    delta, omega and SW-banyan wirings.
+
+    All three connect n = 2^k wire rows through k stages of 2×2
+    switching, so every input–output pair is joined by exactly one
+    path (2nk switch edges, depth k).  They differ only in the
+    inter-stage wiring:
+
+    - {!delta} crosses bit [k−1−ℓ] at stage ℓ — the butterfly with the
+      bit order reversed (the delta network of Patel);
+    - {!omega} applies a perfect shuffle (left bit rotation) followed
+      by an exchange at every stage (Lawrie's omega network);
+    - {!banyan} applies an inverse shuffle within recursively halving
+      blocks — the baseline wiring of the SW-banyan.
+
+    With no path diversity, a single fault on the unique path severs a
+    terminal pair: these are the fragile extreme of the tournament,
+    the counterpoint to the paper's fault-tolerant construction. *)
+
+val delta : int -> Network.t
+(** [delta n] for n a power of two ≥ 2.  @raise Invalid_argument otherwise. *)
+
+val omega : int -> Network.t
+
+val banyan : int -> Network.t

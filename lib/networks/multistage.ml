@@ -91,6 +91,8 @@ let make ?k ~levels n =
 
 let network t = t.net
 
+let create ?k ~levels n = network (make ?k ~levels n)
+
 let stage_count t = (2 * t.levels) + 1
 
 (* recursive Slepian-Duguid: a full permutation splits into k sub-

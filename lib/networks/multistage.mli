@@ -22,6 +22,9 @@ val make : ?k:int -> levels:int -> int -> t
 
 val network : t -> Network.t
 
+val create : ?k:int -> levels:int -> int -> Network.t
+(** [network (make ?k ~levels n)] — for callers that only need the graph. *)
+
 val route : t -> Ftcsn_util.Perm.t -> int list array
 (** Vertex-disjoint paths realising the permutation, by recursive
     matching decomposition.  @raise Invalid_argument on arity mismatch. *)

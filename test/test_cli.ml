@@ -150,8 +150,119 @@ let test_render_dot () =
   check_contains "render dot" out "v0 -> v2"
 
 let test_unknown_family_fails () =
-  let code, _ = run "build --family nosuch -n 4" in
-  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+  let code, out = run "build --family nosuch -n 4" in
+  Alcotest.(check int) "exit code" 2 code;
+  check_contains "unknown family" out "ftnet: error:";
+  check_contains "unknown family" out "unknown network family \"nosuch\""
+
+(* ---------- topology registry: --net specs, topologies, tournament ---------- *)
+
+let test_net_spec_build () =
+  let code, out = run "build --net clos:8:rearr --seed 1" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "net spec" out "family: clos";
+  (* clos snaps n=8 to its r*k grid and must say so *)
+  check_contains "net spec" out "effective n: 9 (requested 8)";
+  check_contains "net spec" out
+    "warning: family clos snapped n=8 to its natural grid"
+
+let test_net_spec_params () =
+  (* spec parameters reach the constructor on every subcommand *)
+  let code, out = run "survive --net multibutterfly:8:degree=3 --trials 20 --seed 5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "net params" out "multibutterfly-8-d3";
+  let code, out = run "build --net crossbar:n=3:m=5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "net crossbar m" out "n=3x5"
+
+let test_net_matches_family_alias () =
+  (* --family FAM is an alias for --net FAM: identical network, identical
+     estimate *)
+  let go flag =
+    let code, out = run ("survive " ^ flag ^ " -n 8 --trials 50 --seed 7") in
+    Alcotest.(check int) "exit code" 0 code;
+    (* drop the throughput line, which varies run to run *)
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (contains l "trials/s"))
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check string) "--net equals --family" (go "--family benes")
+    (go "--net benes")
+
+let test_net_and_family_conflict () =
+  let code, out = run "build --net benes --family ft -n 4" in
+  Alcotest.(check int) "exit code" 2 code;
+  check_contains "conflict" out "ftnet: error:";
+  check_contains "conflict" out "--net and --family cannot both be given"
+
+let test_net_unknown_param () =
+  let code, out = run "build --net benes:wings=3 -n 4" in
+  Alcotest.(check int) "exit code" 2 code;
+  check_contains "unknown param" out "ftnet: error:";
+  check_contains "unknown param" out "unknown parameter \"wings\" for family benes"
+
+let test_net_pow2_refused () =
+  let code, out = run "build --net omega:12" in
+  Alcotest.(check int) "exit code" 2 code;
+  check_contains "pow2" out "ftnet: error:";
+  check_contains "pow2" out
+    "family omega requires n to be a power of two >= 2 (got 12; nearest is 16)"
+
+let test_topologies () =
+  let code, out = run "topologies" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "topologies" out "registered network families";
+  List.iter
+    (fun f -> check_contains "topologies lists" out f)
+    [ "banyan"; "benes"; "butterfly-pair"; "delta"; "ft"; "omega" ];
+  check_contains "topologies aliases" out "aliases: bradley";
+  check_contains "topologies params" out "degree=INT"
+
+let test_topologies_names () =
+  let code, out = run "topologies --names" in
+  Alcotest.(check int) "exit code" 0 code;
+  let names =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "at least 12 families" true (List.length names >= 12);
+  (* bare canonical names only, fit for shell loops *)
+  List.iter
+    (fun l ->
+      if String.contains l ' ' then
+        Alcotest.failf "topologies --names line has spaces: %S" l)
+    names;
+  Alcotest.(check bool) "sorted" true (names = List.sort compare names)
+
+let test_tournament () =
+  let code, out =
+    run
+      "tournament -n 4 --trials 20 --traffic-trials 1 --calls 100 --warmup 20 \
+       --seed 2"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "tournament" out
+    "tournament: fault tolerance vs edges per terminal";
+  check_contains "tournament" out "edges/term";
+  check_contains "tournament" out "surv@0.05";
+  (* every registered family shows up as a row *)
+  List.iter
+    (fun f -> check_contains "tournament row" out ("| " ^ f))
+    [ "banyan"; "benes"; "butterfly-pair"; "cantor"; "delta"; "ft"; "omega" ];
+  check_contains "tournament" out "Pareto-optimal"
+
+let test_tournament_json () =
+  let code, out =
+    run
+      "tournament -n 4 --trials 10 --traffic-trials 1 --calls 60 --warmup 20 \
+       --seed 2 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "tournament json" out "\"entries\":";
+  check_contains "tournament json" out "\"family\":\"benes\"";
+  check_contains "tournament json" out "\"edges_per_terminal\":";
+  check_contains "tournament json" out "\"pareto\":";
+  check_contains "tournament json" out "\"survival\":[{\"eps\":0.001,"
 
 (* ---------- observability flags ---------- *)
 
@@ -439,8 +550,8 @@ let test_help () =
   List.iter
     (fun sub -> check_contains "help lists subcommand" out sub)
     [
-      "build"; "faults"; "route"; "check"; "survive"; "curve"; "traffic";
-      "degrade"; "critical"; "render";
+      "build"; "topologies"; "faults"; "route"; "check"; "survive"; "curve";
+      "traffic"; "tournament"; "degrade"; "critical"; "render";
     ]
 
 let () =
@@ -477,6 +588,22 @@ let () =
           Alcotest.test_case "render dot" `Quick test_render_dot;
           Alcotest.test_case "unknown family" `Quick test_unknown_family_fails;
           Alcotest.test_case "help" `Quick test_help;
+        ] );
+      ( "topology registry",
+        [
+          Alcotest.test_case "--net spec with rounding warning" `Quick
+            test_net_spec_build;
+          Alcotest.test_case "--net spec parameters" `Quick test_net_spec_params;
+          Alcotest.test_case "--net equals --family" `Quick
+            test_net_matches_family_alias;
+          Alcotest.test_case "--net conflicts with --family" `Quick
+            test_net_and_family_conflict;
+          Alcotest.test_case "unknown parameter" `Quick test_net_unknown_param;
+          Alcotest.test_case "power-of-two refusal" `Quick test_net_pow2_refused;
+          Alcotest.test_case "topologies" `Quick test_topologies;
+          Alcotest.test_case "topologies --names" `Quick test_topologies_names;
+          Alcotest.test_case "tournament" `Slow test_tournament;
+          Alcotest.test_case "tournament json" `Quick test_tournament_json;
         ] );
       ( "observability",
         [

@@ -131,7 +131,7 @@ let test_of_means_and_quantile () =
 (* ---------- Traffic: conservation laws ---------- *)
 
 let test_traffic_conservation () =
-  let net = Benes.network (Benes.make 8) in
+  let net = Benes.create 8 in
   let config =
     Traffic.config ~load:2.0 ~mtbf:2000.0 ~mttr:2.0
       ~stop:(Traffic.Horizon 200.0) ()

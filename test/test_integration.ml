@@ -39,7 +39,7 @@ let test_class_inclusions_crossbar () =
 
 let test_class_separation_examples () =
   (* Benes: rearrangeable but not nonblocking; butterfly: neither *)
-  let benes = Benes.network (Benes.make 4) in
+  let benes = Benes.create 4 in
   (match Properties.rearrangeable_exhaustive benes with
   | `Holds -> ()
   | _ -> Alcotest.fail "Benes rearrangeable");
@@ -54,7 +54,7 @@ let test_class_separation_examples () =
 (* §3 edge substitution transfer: substituting an amplifier gadget into a
    Benes network keeps it routable and multiplies size by gadget size *)
 let test_substitution_transfer_routability () =
-  let benes = Benes.network (Benes.make 4) in
+  let benes = Benes.create 4 in
   let gadget = Sp_network.build (Sp_network.iterate_quad 1) in
   let sub = Substitution.substitute benes.Network.graph ~gadget in
   let net' =
@@ -72,7 +72,7 @@ let test_substitution_transfer_routability () =
 (* fault injection + survivor + routing, across families *)
 let test_survivor_routing_consistency () =
   let rng = Rng.create ~seed:42 in
-  let benes = Benes.network (Benes.make 8) in
+  let benes = Benes.create 8 in
   let g = benes.Network.graph in
   for _ = 1 to 20 do
     let pattern =
@@ -155,7 +155,7 @@ let test_survival_monotone_families () =
   let rng = Rng.create ~seed:45 in
   let nets =
     [
-      Benes.network (Benes.make 8);
+      Benes.create 8;
       Clos.nonblocking ~n:8;
     ]
   in

@@ -11,6 +11,8 @@ module Multibutterfly = Ftcsn_networks.Multibutterfly
 module Cantor = Ftcsn_networks.Cantor
 module Valiant_sc = Ftcsn_networks.Valiant_sc
 module Recursive_nb = Ftcsn_networks.Recursive_nb
+module Delta = Ftcsn_networks.Delta
+module Butterfly_pair = Ftcsn_networks.Butterfly_pair
 module Digraph = Ftcsn_graph.Digraph
 module Perm = Ftcsn_util.Perm
 module Rng = Ftcsn_prng.Rng
@@ -582,7 +584,7 @@ let test_multistage_structure () =
 let test_multistage_degenerates_to_benes () =
   (* k = 2, levels = lg n - 1: the recursion is exactly a Benes network *)
   let t = Multistage.make ~k:2 ~levels:3 16 in
-  let benes = Benes.network (Benes.make 16) in
+  let benes = Benes.create 16 in
   check "size equals Benes" (Network.size benes)
     (Network.size (Multistage.network t));
   check "depth equals Benes" (Network.depth benes)
@@ -594,7 +596,7 @@ let test_multistage_levels_tradeoff () =
      takes over once k bottoms out at 2 — the [PY] depth/size tradeoff *)
   let n = 64 in
   let size levels =
-    Network.size (Multistage.network (Multistage.make ~levels n))
+    Network.size (Multistage.create ~levels n)
   in
   let s0 = size 0 and s1 = size 1 and s2 = size 2 and s5 = size 5 in
   checkb "crossbar largest" true (s0 > s1);
@@ -637,6 +639,104 @@ let prop_multistage_routes_random =
       let all = Array.to_list paths |> List.concat in
       List.length all = List.length (List.sort_uniq compare all))
 
+(* ---------- delta / omega / banyan / butterfly-pair ---------- *)
+
+let delta_zoo =
+  [ ("delta", Delta.delta); ("omega", Delta.omega); ("banyan", Delta.banyan) ]
+
+(* paths from [src] to every vertex, by DP in vertex-id order: these
+   constructions are leveled with ids increasing stage by stage, so every
+   predecessor of a vertex has a smaller id *)
+let path_counts net src =
+  let g = net.Network.graph in
+  let counts = Array.make (Digraph.vertex_count g) 0 in
+  counts.(src) <- 1;
+  for v = 0 to Digraph.vertex_count g - 1 do
+    if counts.(v) > 0 then
+      Digraph.iter_out g v (fun ~dst ~eid:_ ->
+          counts.(dst) <- counts.(dst) + counts.(v))
+  done;
+  counts
+
+let test_delta_zoo_counts () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun n ->
+          let k = log2_exact n in
+          let net = make n in
+          check (name ^ " size") (2 * n * k) (Network.size net);
+          check (name ^ " depth") k (Network.depth net);
+          check (name ^ " inputs") n (Network.n_inputs net);
+          check (name ^ " outputs") n (Network.n_outputs net);
+          checkb (name ^ " acyclic") true (Network.is_acyclic net))
+        [ 2; 4; 8; 16 ])
+    delta_zoo
+
+let test_delta_zoo_unique_path () =
+  (* the banyan-class defining property: exactly one path per terminal
+     pair, whatever the inter-stage wiring *)
+  List.iter
+    (fun (name, make) ->
+      let net = make 8 in
+      Array.iter
+        (fun input ->
+          let counts = path_counts net input in
+          Array.iter
+            (fun output ->
+              if counts.(output) <> 1 then
+                Alcotest.failf "%s: %d paths between a terminal pair" name
+                  counts.(output))
+            net.Network.outputs)
+        net.Network.inputs)
+    delta_zoo
+
+let test_delta_zoo_rejects_non_pow2 () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun n ->
+          try
+            ignore (make n);
+            Alcotest.failf "%s %d should be rejected" name n
+          with Invalid_argument _ -> ())
+        [ 0; 1; 3; 6; 12 ])
+    (("butterfly-pair", Butterfly_pair.make) :: delta_zoo)
+
+let test_butterfly_pair_counts () =
+  let n = 8 in
+  let k = log2_exact n in
+  let net = Butterfly_pair.make n in
+  check "size" (4 * n * k) (Network.size net);
+  check "depth" (2 * k) (Network.depth net);
+  check "inputs" n (Network.n_inputs net);
+  check "outputs" n (Network.n_outputs net);
+  checkb "acyclic" true (Network.is_acyclic net)
+
+let test_butterfly_pair_path_diversity () =
+  (* butterfly reaches each middle row once, the mirror continues each
+     middle row to every output once: n paths per terminal pair *)
+  let n = 8 in
+  let net = Butterfly_pair.make n in
+  Array.iter
+    (fun input ->
+      let counts = path_counts net input in
+      Array.iter
+        (fun output -> check "paths per pair" n counts.(output))
+        net.Network.outputs)
+    net.Network.inputs
+
+let test_butterfly_pair_superconcentrates () =
+  let net = Butterfly_pair.make 4 in
+  match
+    Ftcsn_routing.Properties.superconcentrator_exhaustive ~max_work:20000 net
+  with
+  | `Holds -> ()
+  | `Violated v ->
+      Alcotest.failf "violated at r=%d achieved=%d" v.Ftcsn_routing.Properties.r
+        v.Ftcsn_routing.Properties.achieved
+  | `Too_large -> Alcotest.fail "should be feasible"
+
 (* ---------- cross-construction sanity ---------- *)
 
 let test_shannon_size_ordering () =
@@ -644,7 +744,7 @@ let test_shannon_size_ordering () =
      O(n log^2 n) sits between once n is past the crossover (which falls
      at exactly n = 256 for these constants) *)
   let n = 512 in
-  let benes = Network.size (Benes.network (Benes.make n)) in
+  let benes = Network.size (Benes.create n) in
   let cantor = Network.size (Cantor.make n) in
   let crossbar = Network.size (Crossbar.square n) in
   checkb "benes < cantor" true (benes < cantor);
@@ -755,6 +855,21 @@ let () =
             test_multistage_routes_all_perms_small;
           Alcotest.test_case "padded n" `Quick test_multistage_routes_padded;
           Alcotest.test_case "validation" `Quick test_multistage_validation;
+        ] );
+      ( "delta-zoo",
+        [
+          Alcotest.test_case "counts" `Quick test_delta_zoo_counts;
+          Alcotest.test_case "unique path" `Quick test_delta_zoo_unique_path;
+          Alcotest.test_case "rejects non-pow2" `Quick
+            test_delta_zoo_rejects_non_pow2;
+        ] );
+      ( "butterfly-pair",
+        [
+          Alcotest.test_case "counts" `Quick test_butterfly_pair_counts;
+          Alcotest.test_case "path diversity" `Quick
+            test_butterfly_pair_path_diversity;
+          Alcotest.test_case "superconcentrates" `Quick
+            test_butterfly_pair_superconcentrates;
         ] );
       ( "landscape",
         [ Alcotest.test_case "size ordering" `Quick test_shannon_size_ordering ] );

@@ -93,7 +93,7 @@ let requests_of_perm net pi =
     (Array.mapi (fun i o -> (net.Network.inputs.(i), net.Network.outputs.(o))) pi)
 
 let test_backtrack_routes_benes_all_perms () =
-  let net = Benes.network (Benes.make 4) in
+  let net = Benes.create 4 in
   Perm.iter_all 4 (fun pi ->
       match Backtrack.route_all net (requests_of_perm net (Array.copy pi)) with
       | Backtrack.Routed paths ->
@@ -117,7 +117,7 @@ let test_backtrack_detects_unroutable () =
   | _ -> Alcotest.fail "single request should route"
 
 let test_backtrack_budget () =
-  let net = Benes.network (Benes.make 8) in
+  let net = Benes.create 8 in
   let rng = Rng.create ~seed:3 in
   let pi = Rng.permutation rng 8 in
   match Backtrack.route_all ~budget:3 net (requests_of_perm net pi) with
@@ -140,7 +140,7 @@ let test_backtrack_needs_backtracking () =
   | _ -> Alcotest.fail "backtracking should find the assignment"
 
 let test_count_paths () =
-  let net = Benes.network (Benes.make 4) in
+  let net = Benes.create 4 in
   (* Benes(4): each input-output pair has exactly 2 paths (one per half) *)
   check "two paths" 2
     (Backtrack.count_paths net ~src:net.Network.inputs.(0)
@@ -153,7 +153,7 @@ let test_count_paths () =
 (* ---------- Flow_route ---------- *)
 
 let test_flow_route_connect () =
-  let net = Benes.network (Benes.make 8) in
+  let net = Benes.create 8 in
   match
     Flow_route.connect net ~input_indices:[| 0; 3; 5 |] ~output_indices:[| 1; 2; 7 |]
   with
@@ -259,7 +259,7 @@ let test_clos_rearrangeable_not_nonblocking () =
   | `Budget_exceeded -> Alcotest.fail "budget"
 
 let test_benes_rearrangeable_exhaustive () =
-  match Properties.rearrangeable_exhaustive (Benes.network (Benes.make 4)) with
+  match Properties.rearrangeable_exhaustive (Benes.create 4) with
   | `Holds -> ()
   | `Violated _ -> Alcotest.fail "Benes is rearrangeable"
   | `Budget_exceeded -> Alcotest.fail "budget"
@@ -272,10 +272,10 @@ let test_butterfly_not_rearrangeable () =
 
 let test_butterfly_banyan () =
   checkb "butterfly is banyan" true (Properties.is_banyan (Butterfly.make 8));
-  checkb "benes is not" false (Properties.is_banyan (Benes.network (Benes.make 4)))
+  checkb "benes is not" false (Properties.is_banyan (Benes.create 4))
 
 let test_superconcentrator_checks () =
-  let benes = Benes.network (Benes.make 4) in
+  let benes = Benes.create 4 in
   (match Properties.superconcentrator_exhaustive ~max_work:50_000 benes with
   | `Holds -> ()
   | `Violated _ -> Alcotest.fail "Benes superconcentrates"
@@ -290,7 +290,7 @@ let test_superconcentrator_checks () =
 
 let test_superconcentrator_sampled_agrees () =
   let rng = Rng.create ~seed:5 in
-  let benes = Benes.network (Benes.make 8) in
+  let benes = Benes.create 8 in
   checkb "no violation" true
     (Properties.superconcentrator_sampled ~trials:50 ~rng benes = None);
   let bf = Butterfly.make 8 in
@@ -306,7 +306,7 @@ let test_rearrangeable_sampled () =
   let rng = Rng.create ~seed:7 in
   checkb "benes fine" true
     (Properties.rearrangeable_sampled ~trials:10 ~rng
-       (Benes.network (Benes.make 8))
+       (Benes.create 8)
     = None);
   checkb "butterfly caught" true
     (Properties.rearrangeable_sampled ~trials:30 ~rng (Butterfly.make 8) <> None)
@@ -359,7 +359,7 @@ let test_wsnb_stress_blocking_detected () =
   let rng = Rng.create ~seed:61 in
   let offered, blocked =
     Wide_sense.stress ~steps:500 ~rng Wide_sense.greedy_strategy
-      (Benes.network (Benes.make 8))
+      (Benes.create 8)
   in
   checkb "offered" true (offered > 50);
   checkb "benes blocks under greedy" true (blocked > 0)
@@ -371,7 +371,7 @@ let prop_greedy_paths_valid =
     (fun (seed, logn) ->
       let rng = Rng.create ~seed in
       let n = 1 lsl logn in
-      let net = Benes.network (Benes.make n) in
+      let net = Benes.create n in
       let router = Greedy.create net in
       let g = net.Ftcsn_networks.Network.graph in
       let ok = ref true in
@@ -426,7 +426,7 @@ let prop_session_invariants =
     (fun seed ->
       let rng = Rng.create ~seed in
       let n = 8 in
-      let net = Benes.network (Benes.make n) in
+      let net = Benes.create n in
       let s =
         Session.create
           ~choice:(Session.Randomised (Rng.create ~seed:(seed + 1)))

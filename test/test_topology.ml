@@ -1,0 +1,270 @@
+(* Tests for the topology registry: the spec mini-language (parse /
+   to_string round-trips, normalized error messages), registry lookup,
+   and registry-wide structural properties — every registered family
+   must yield a valid acyclic network with distinct terminals. *)
+
+module Topology = Ftcsn_networks.Topology
+module Network = Ftcsn_networks.Network
+module Rng = Ftcsn_prng.Rng
+
+(* the paper's family registers from the core library *)
+let () = Ftcsn.Ft_topology.install ()
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let check_contains name msg needle =
+  if not (contains msg needle) then
+    Alcotest.failf "%s: expected %S in %S" name needle msg
+
+let spec_t =
+  Alcotest.testable
+    (fun fmt (s : Topology.spec) ->
+      Format.fprintf fmt "%S" (Topology.to_string s))
+    (fun (a : Topology.spec) b -> a = b)
+
+let spec_result = Alcotest.(result spec_t string)
+
+(* ---------- spec mini-language ---------- *)
+
+let test_parse_basic () =
+  Alcotest.check spec_result "bare int is n"
+    (Ok { Topology.family = "benes"; args = [ ("n", "16") ] })
+    (Topology.parse "benes:16");
+  Alcotest.check spec_result "key=value plus flag"
+    (Ok { Topology.family = "clos"; args = [ ("n", "64"); ("rearr", "") ] })
+    (Topology.parse "clos:n=64:rearr");
+  Alcotest.check spec_result "several parameters"
+    (Ok
+       {
+         Topology.family = "multibutterfly";
+         args = [ ("n", "32"); ("degree", "4") ];
+       })
+    (Topology.parse "multibutterfly:n=32:degree=4");
+  Alcotest.check spec_result "bare family"
+    (Ok { Topology.family = "ft"; args = [] })
+    (Topology.parse "ft")
+
+let test_parse_errors () =
+  let err name s frag =
+    match Topology.parse s with
+    | Ok _ -> Alcotest.failf "%s: parse %S should fail" name s
+    | Error msg -> check_contains name msg frag
+  in
+  err "empty" "" "empty network spec";
+  err "empty family" ":16" "empty family";
+  err "empty component" "benes::16" "empty component";
+  err "duplicate key" "benes:n=4:n=8" "duplicate parameter \"n\"";
+  err "duplicate via shorthand" "benes:4:n=8" "duplicate parameter \"n\"";
+  err "empty parameter name" "benes:=4" "empty parameter name"
+
+let test_to_string_canonical () =
+  (* these strings are their own canonical rendering *)
+  List.iter
+    (fun s ->
+      match Topology.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok spec ->
+          Alcotest.(check string) ("canonical " ^ s) s (Topology.to_string spec))
+    [
+      "benes";
+      "benes:16";
+      "clos:64:rearr";
+      "multibutterfly:32:degree=4";
+      "ft:8:gamma=3";
+    ];
+  (* non-canonical input still round-trips through to_string *)
+  match Topology.parse "clos:n=64:rearr" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok spec ->
+      Alcotest.check spec_result "reparse of to_string" (Ok spec)
+        (Topology.parse (Topology.to_string spec))
+
+let spec_gen =
+  let open QCheck2.Gen in
+  let word = oneofl [ "benes"; "clos"; "zeta"; "x-y"; "ft" ] in
+  let key = oneofl [ "degree"; "k"; "levels"; "rearr"; "grid-stages" ] in
+  let arg =
+    oneof
+      [
+        map (fun v -> ("n", string_of_int v)) (int_range 0 99);
+        map2 (fun k v -> (k, string_of_int v)) key (int_range 0 99);
+        map (fun k -> (k, "")) key;
+      ]
+  in
+  map2
+    (fun family args ->
+      let seen = Hashtbl.create 8 in
+      let args =
+        List.filter
+          (fun (k, _) ->
+            if Hashtbl.mem seen k then false
+            else (
+              Hashtbl.add seen k ();
+              true))
+          args
+      in
+      { Topology.family; args })
+    word
+    (list_size (int_range 0 4) arg)
+
+let prop_spec_round_trip =
+  QCheck2.Test.make ~name:"parse (to_string spec) = Ok spec" ~count:300 spec_gen
+    (fun spec -> Topology.parse (Topology.to_string spec) = Ok spec)
+
+(* ---------- build-time diagnostics ---------- *)
+
+let check_build_error name spec frag =
+  match Topology.build_string ~n:8 ~rng:(Rng.create ~seed:3) spec with
+  | Ok _ -> Alcotest.failf "%s: building %S should fail" name spec
+  | Error msg -> check_contains name msg frag
+
+let test_build_errors () =
+  check_build_error "unknown family" "nosuch:8"
+    "unknown network family \"nosuch\" (known:";
+  check_build_error "unknown parameter" "benes:wings=3"
+    "unknown parameter \"wings\" for family benes";
+  check_build_error "non-integer value" "multibutterfly:degree=fat"
+    "\"fat\" is not an integer";
+  check_build_error "flag with value" "clos:rearr=2"
+    "is a flag and takes no value";
+  check_build_error "pow2 refused" "omega:12" "power of two";
+  check_build_error "n too small" "benes:0" "n must be an integer >= 1"
+
+let test_build_needs_n () =
+  match Topology.build ~rng:(Rng.create ~seed:3)
+          { Topology.family = "benes"; args = [] }
+  with
+  | Ok _ -> Alcotest.fail "build without n should fail"
+  | Error msg -> check_contains "no n" msg "no terminal count"
+
+let test_build_reports_rounding () =
+  match Topology.build_string ~n:5 ~rng:(Rng.create ~seed:3) "benes" with
+  | Error e -> Alcotest.failf "benes:5: %s" e
+  | Ok b ->
+      Alcotest.(check int) "requested" 5 b.Topology.n_requested;
+      Alcotest.(check int) "effective" 8 b.Topology.n_effective;
+      Alcotest.(check int) "matches the network" (Network.n_inputs b.Topology.net)
+        b.Topology.n_effective
+
+(* ---------- registry ---------- *)
+
+let test_lookup_aliases () =
+  List.iter
+    (fun (alias, canonical) ->
+      match Topology.find alias with
+      | Some g -> Alcotest.(check string) alias canonical g.Topology.name
+      | None -> Alcotest.failf "alias %s missing" alias)
+    [
+      ("valiant", "valiant-sc");
+      ("bradley", "butterfly-pair");
+      ("recursive", "recursive-nb");
+      ("paper", "ft");
+    ]
+
+let test_registry_contents () =
+  let names = Topology.names () in
+  Alcotest.(check bool) "sorted" true (names = List.sort compare names);
+  Alcotest.(check bool) "at least 12 families" true (List.length names >= 12);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " registered") true (List.mem f names))
+    [
+      "banyan"; "benes"; "butterfly"; "butterfly-pair"; "cantor"; "clos";
+      "crossbar"; "delta"; "ft"; "multibutterfly"; "multistage"; "omega";
+      "recursive-nb"; "valiant-sc";
+    ]
+
+let test_register_duplicate_rejected () =
+  match Topology.find "benes" with
+  | None -> Alcotest.fail "benes missing"
+  | Some g ->
+      Alcotest.check_raises "duplicate registration"
+        (Invalid_argument
+           "Topology.register: family \"benes\" already registered")
+        (fun () -> Topology.register g)
+
+(* ---------- registry-wide structural properties ---------- *)
+
+let distinct arr =
+  let l = Array.to_list arr in
+  List.length l = List.length (List.sort_uniq compare l)
+
+let prop_every_family_builds =
+  QCheck2.Test.make
+    ~name:"every registered family builds valid acyclic nets at small n"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 2 4) int)
+    (fun (logn, seed) ->
+      let n = 1 lsl logn in
+      List.for_all
+        (fun (g : Topology.gen) ->
+          match
+            Topology.build ~n ~rng:(Rng.create ~seed)
+              { Topology.family = g.Topology.name; args = [] }
+          with
+          | Error _ -> false
+          | Ok b ->
+              let net = b.Topology.net in
+              Network.is_acyclic net
+              && b.Topology.n_effective = Network.n_inputs net
+              && Network.n_inputs net >= 1
+              && Network.n_outputs net >= 1
+              && Network.size net >= 1
+              && distinct net.Network.inputs
+              && distinct net.Network.outputs)
+        (Topology.all ()))
+
+let prop_off_grid_n =
+  QCheck2.Test.make
+    ~name:"exact power-of-two families refuse an off-grid n, the rest round"
+    ~count:30
+    QCheck2.Gen.(pair (int_range 3 20) int)
+    (fun (n, seed) ->
+      QCheck2.assume (n land (n - 1) <> 0);
+      List.for_all
+        (fun (g : Topology.gen) ->
+          match
+            Topology.build ~n ~rng:(Rng.create ~seed)
+              { Topology.family = g.Topology.name; args = [] }
+          with
+          | Error msg -> g.Topology.exact_pow2 && contains msg "power of two"
+          | Ok b ->
+              (not g.Topology.exact_pow2)
+              && b.Topology.n_effective >= n - 1)
+        (Topology.all ()))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_spec_round_trip; prop_every_family_builds; prop_off_grid_n ]
+
+let () =
+  Alcotest.run "ftcsn_topology"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse basics" `Quick test_parse_basic;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "canonical rendering" `Quick
+            test_to_string_canonical;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "diagnostics" `Quick test_build_errors;
+          Alcotest.test_case "needs n" `Quick test_build_needs_n;
+          Alcotest.test_case "reports rounding" `Quick
+            test_build_reports_rounding;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "aliases" `Quick test_lookup_aliases;
+          Alcotest.test_case "contents" `Quick test_registry_contents;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_register_duplicate_rejected;
+        ] );
+      ("properties", props);
+    ]
