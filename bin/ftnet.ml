@@ -10,6 +10,8 @@
                 nonblocking) on a small network
      survive    Monte-Carlo (eps, delta) survival estimation
      curve      coupled survival curve over an --eps-grid (CRN sweep)
+     rare       rare-event failure estimation (tilted IS / multilevel
+                splitting) for the paper's eps = 1e-6 regime
      traffic    continuous-time call traffic: steady-state blocking with CIs
      tournament race every registered family through the survival sweep and
                 the traffic engine; Pareto table on edges-per-terminal
@@ -38,6 +40,7 @@ module Topology = Ftcsn_networks.Topology
 module Rng = Ftcsn_prng.Rng
 module Fault = Ftcsn_reliability.Fault
 module Monte_carlo = Ftcsn_reliability.Monte_carlo
+module Splitting = Ftcsn_reliability.Splitting
 module Trials = Ftcsn_sim.Trials
 module Traffic = Ftcsn_des.Traffic
 module Dist = Ftcsn_des.Dist
@@ -116,14 +119,29 @@ let parse_eps_grid = function
       (match scale with
       | `Log when lo <= 0.0 -> fail "log spacing needs LO > 0"
       | _ -> ());
-      Some
-        (Array.init steps (fun k ->
-             if steps = 1 then lo
-             else
-               let t = float_of_int k /. float_of_int (steps - 1) in
-               match scale with
-               | `Lin -> lo +. (t *. (hi -. lo))
-               | `Log -> lo *. exp (t *. log (hi /. lo))))
+      let grid =
+        Array.init steps (fun k ->
+            if steps = 1 then lo
+            else
+              let t = float_of_int k /. float_of_int (steps - 1) in
+              match scale with
+              | `Lin -> lo +. (t *. (hi -. lo))
+              | `Log -> lo *. exp (t *. log (hi /. lo)))
+      in
+      (* extreme LO/HI (e.g. a denormal LO with :log) can overflow the
+         spacing arithmetic into inf/nan points that would crash the
+         fault sampler mid-sweep; reject the grid up front instead *)
+      Array.iteri
+        (fun k x ->
+          if not (Float.is_finite x && x >= 0.0 && x <= 0.5) then
+            fail
+              (Printf.sprintf
+                 "grid point %d computes to %g (degenerate spacing; LO/HI \
+                  too extreme for %s scale)"
+                 k x
+                 (match scale with `Log -> "log" | `Lin -> "lin")))
+        grid;
+      Some grid
 
 (* ---------- observability ---------- *)
 
@@ -227,6 +245,8 @@ module Seeds = struct
   let critical seed = Rng.create ~seed:(seed + 6)
 
   let traffic seed = Rng.create ~seed:(seed + 7)
+
+  let rare seed = Rng.create ~seed:(seed + 8)
 
   (* curve shares survive's stream: a curve point at ε then reproduces
      `survive --eps ε` with the same --seed bit-for-bit *)
@@ -892,6 +912,346 @@ let curve_cmd =
       const run $ spec_args $ n_arg $ seed_arg $ eps_grid $ trials
       $ jobs_arg $ json $ obs_args)
 
+(* ---------- rare ---------- *)
+
+(* Plain MC needs ~1/(eps·n·RE²) trials to pin a probability of order
+   eps·n at relative error RE — hopeless at the paper's eps = 1e-6.
+   `ftnet rare` runs the lib/reliability/splitting estimators instead:
+   cross-entropy-tilted importance sampling (the full failure event) and
+   multilevel splitting/RESTART (the monotone sub-event via the critical-ε
+   importance function).  Both run on Trials, so estimates stay
+   bit-identical at every --jobs; the sequential pilot phases (CE tilt
+   tuning, level-schedule calibration) draw from the same --seed stream
+   before the parallel phase, so the whole run is deterministic. *)
+
+let rare_est_json (e : Splitting.estimate) =
+  [
+    ("mean", Obs_json.Float e.Splitting.mean);
+    ("rel_err", Obs_json.Float e.Splitting.rel_err);
+    ("ci_low", Obs_json.Float e.Splitting.ci_low);
+    ("ci_high", Obs_json.Float e.Splitting.ci_high);
+    ("trials", Obs_json.Int e.Splitting.trials);
+    ("variance_ratio", Obs_json.Float e.Splitting.variance_ratio);
+    ("evals", Obs_json.Int e.Splitting.evals);
+  ]
+
+let note_rare_estimate obs name (e : Splitting.estimate) =
+  let gauge k v = Obs_metrics.set_gauge obs.registry (name ^ "." ^ k) v in
+  gauge "mean" e.Splitting.mean;
+  gauge "rel_err" e.Splitting.rel_err;
+  gauge "variance_ratio" e.Splitting.variance_ratio
+
+let print_rare_header () =
+  Format.printf "  %-6s %-12s %-9s %-24s %-8s %-12s %s@." "method" "mean"
+    "rel_err" "95% CI" "trials" "var_ratio" "evals"
+
+let print_rare_row name (e : Splitting.estimate) =
+  Format.printf "  %-6s %-12.4e %-9.4f [%.3e, %.3e]  %-8d %-12.4g %d@." name
+    e.Splitting.mean e.Splitting.rel_err e.Splitting.ci_low
+    e.Splitting.ci_high e.Splitting.trials e.Splitting.variance_ratio
+    e.Splitting.evals
+
+let rare_cmd =
+  let run family n seed eps eps_grid method_ trials pilot_trials tilt_iters
+      per_edge particles level_p0 mutate jobs json obsargs =
+    let trials = check_pos "--trials" trials in
+    let jobs = check_jobs jobs in
+    let pilot_trials = check_pos "--pilot-trials" pilot_trials in
+    let tilt_iters = check_pos "--tilt-iters" tilt_iters in
+    let particles = check_pos "--particles" particles in
+    if not (eps > 0.0 && eps <= 0.5) then
+      die "invalid --eps value %g: need 0 < EPS <= 0.5" eps;
+    if not (level_p0 > 0.0 && level_p0 < 1.0) then
+      die "invalid --level-p0 value %g: must lie in (0, 1)" level_p0;
+    if not (mutate > 0.0 && mutate <= 1.0) then
+      die "invalid --mutate value %g: must lie in (0, 1]" mutate;
+    let method_ =
+      match method_ with
+      | "tilt" -> `Tilt
+      | "split" -> `Split
+      | "both" -> `Both
+      | s -> die "invalid --method value %S: expected tilt, split or both" s
+    in
+    let grid = parse_eps_grid eps_grid in
+    (match (grid, method_) with
+    | Some _, (`Split | `Both) ->
+        die
+          "--eps-grid sweeps share one tilted sample per trial across the \
+           grid; only --method tilt supports it"
+    | Some g, `Tilt ->
+        Array.iter
+          (fun x ->
+            if not (x > 0.0) then
+              die
+                "invalid --eps-grid value: grid point %g must be > 0 (tilted \
+                 weights are likelihood ratios against eps)"
+                x)
+          g
+    | None, _ -> ());
+    with_obs obsargs @@ fun obs ->
+    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
+    let rng = Seeds.rare seed in
+    (* pilots can reject a degenerate configuration (population collapse,
+       zero-mass tilt) only once they see the event; normalize to exit 2 *)
+    let checked name f =
+      try f () with Invalid_argument msg -> die "%s phase failed: %s" name msg
+    in
+    let run_tilt () =
+      let tilt =
+        checked "tilt-tuning" @@ fun () ->
+        phase obs "tune-tilt" (fun () ->
+            Ftcsn.Rare.tune_tilt ~iters:tilt_iters ~trials:pilot_trials
+              ~per_edge ?trace:obs.trace ~rng ~eps net)
+      in
+      let est =
+        phase obs "estimate-tilt" (fun () ->
+            Ftcsn.Rare.failure_tilted ~jobs ?trace:obs.trace ~trials ~rng ~eps
+              ~tilt net)
+      in
+      note_rare_estimate obs "rare.tilt" est;
+      est
+    in
+    let run_split () =
+      let schedule =
+        checked "level-pilot" @@ fun () ->
+        phase obs "pilot-levels" (fun () ->
+            Ftcsn.Rare.pilot_schedule ~particles ~p0:level_p0 ~mutate
+              ?trace:obs.trace ~rng ~eps net)
+      in
+      let est =
+        phase obs "estimate-split" (fun () ->
+            Ftcsn.Rare.failure_split ~jobs ?trace:obs.trace ~mutate ~trials
+              ~rng ~schedule net)
+      in
+      note_rare_estimate obs "rare.split" est;
+      (schedule, est)
+    in
+    match grid with
+    | Some grid ->
+        (* tune at the rarest (smallest) grid point so the tilt reaches
+           every point; larger points just carry milder weights *)
+        let eps_min = Array.fold_left min grid.(0) grid in
+        let tilt =
+          checked "tilt-tuning" @@ fun () ->
+          phase obs "tune-tilt" (fun () ->
+              Ftcsn.Rare.tune_tilt ~iters:tilt_iters ~trials:pilot_trials
+                ~per_edge ?trace:obs.trace ~rng ~eps:eps_min net)
+        in
+        let ests =
+          phase obs "estimate-tilt-curve" (fun () ->
+              Ftcsn.Rare.failure_tilted_curve ~jobs ?trace:obs.trace ~trials
+                ~rng ~grid ~tilt net)
+        in
+        note_rare_estimate obs "rare.tilt" ests.(0);
+        if json then
+          let point k est =
+            Obs_json.Obj
+              (("eps", Obs_json.Float grid.(k)) :: rare_est_json est)
+          in
+          print_endline
+            (Obs_json.to_string
+               (Obs_json.Obj
+                  [
+                    ("inputs", Obs_json.Int (Network.n_inputs net));
+                    ("outputs", Obs_json.Int (Network.n_outputs net));
+                    ("switches", Obs_json.Int (Network.size net));
+                    ("method", Obs_json.String "tilt");
+                    ("trials", Obs_json.Int trials);
+                    ( "curve",
+                      Obs_json.List (Array.to_list (Array.mapi point ests)) );
+                  ]))
+        else begin
+          Format.printf "%a@." Network.pp net;
+          Format.printf
+            "rare-event failure curve (tilted IS tuned at eps=%g, %d \
+             coupled trials, jobs=%d):@."
+            eps_min trials jobs;
+          Format.printf "  %-12s %-12s %-9s %-24s %s@." "eps" "mean"
+            "rel_err" "95% CI" "var_ratio";
+          Array.iteri
+            (fun k (e : Splitting.estimate) ->
+              Format.printf "  %-12g %-12.4e %-9.4f [%.3e, %.3e]  %.4g@."
+                grid.(k) e.Splitting.mean e.Splitting.rel_err
+                e.Splitting.ci_low e.Splitting.ci_high
+                e.Splitting.variance_ratio)
+            ests
+        end
+    | None -> (
+        let tilt_est =
+          match method_ with `Tilt | `Both -> Some (run_tilt ()) | `Split -> None
+        in
+        let split_res =
+          match method_ with
+          | `Split | `Both -> Some (run_split ())
+          | `Tilt -> None
+        in
+        if json then
+          let fields =
+            [
+              ("inputs", Obs_json.Int (Network.n_inputs net));
+              ("outputs", Obs_json.Int (Network.n_outputs net));
+              ("switches", Obs_json.Int (Network.size net));
+              ("eps", Obs_json.Float eps);
+              ( "method",
+                Obs_json.String
+                  (match method_ with
+                  | `Tilt -> "tilt"
+                  | `Split -> "split"
+                  | `Both -> "both") );
+            ]
+          in
+          let fields =
+            match tilt_est with
+            | Some e -> fields @ [ ("tilt", Obs_json.Obj (rare_est_json e)) ]
+            | None -> fields
+          in
+          let fields =
+            match split_res with
+            | Some (sched, e) ->
+                fields
+                @ [
+                    ( "split",
+                      Obs_json.Obj
+                        (rare_est_json e
+                        @ [
+                            ( "levels",
+                              Obs_json.List
+                                (Array.to_list
+                                   (Array.map
+                                      (fun l -> Obs_json.Float l)
+                                      sched.Splitting.levels)) );
+                            ( "splits",
+                              Obs_json.List
+                                (Array.to_list
+                                   (Array.map
+                                      (fun s -> Obs_json.Int s)
+                                      sched.Splitting.splits)) );
+                            ( "entry_rate",
+                              Obs_json.Float sched.Splitting.entry_rate );
+                          ]) );
+                  ]
+            | None -> fields
+          in
+          print_endline (Obs_json.to_string (Obs_json.Obj fields))
+        else begin
+          Format.printf "%a@." Network.pp net;
+          Format.printf
+            "rare-event failure estimate at eps=%g (superconcentrator \
+             probes, jobs=%d):@."
+            eps jobs;
+          print_rare_header ();
+          Option.iter (print_rare_row "tilt") tilt_est;
+          (match split_res with
+          | Some (sched, e) ->
+              print_rare_row "split" e;
+              Format.printf "  level schedule (%d levels, entry rate %.3g):@."
+                (Array.length sched.Splitting.levels)
+                sched.Splitting.entry_rate;
+              Array.iteri
+                (fun d l ->
+                  let s =
+                    if d < Array.length sched.Splitting.splits then
+                      Printf.sprintf " x%d" sched.Splitting.splits.(d)
+                    else ""
+                  in
+                  Format.printf "    L%d: eps <= %.4e%s@." d l s)
+                sched.Splitting.levels
+          | None -> ());
+          match method_ with
+          | `Both ->
+              Format.printf
+                "  (tilt measures the full event, split its monotone part; \
+                 the gap is the O(eps^2) shorted-terminal term)@."
+          | _ -> ()
+        end)
+  in
+  let eps =
+    let doc =
+      "Target per-switch failure probability (open = closed = EPS); the \
+       subcommand exists for the paper's EPS = 1e-6 regime."
+    in
+    Arg.(value & opt float 1e-6 & info [ "eps" ] ~docv:"EPS" ~doc)
+  in
+  let eps_grid =
+    let doc =
+      "Tilted-IS curve over $(docv) = LO:HI:STEPS[:log|:lin]: one tilted \
+       sample per trial serves every grid point (only the likelihood \
+       weights differ).  Only --method tilt supports it."
+    in
+    Arg.(value & opt (some string) None & info [ "eps-grid" ] ~docv:"GRID" ~doc)
+  in
+  let method_ =
+    let doc =
+      "Estimator: $(b,tilt) (cross-entropy-tilted importance sampling, \
+       full failure event), $(b,split) (multilevel splitting/RESTART on \
+       the monotone sub-event), or $(b,both)."
+    in
+    Arg.(value & opt string "tilt" & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let trials =
+    trials_arg ~default:10_000
+      ~doc:"Independent root trials for the main estimation phase."
+  in
+  let pilot_trials =
+    Arg.(
+      value & opt int 1000
+      & info [ "pilot-trials" ] ~docv:"T"
+          ~doc:"Trials per cross-entropy tuning iteration.")
+  in
+  let tilt_iters =
+    Arg.(
+      value & opt int 4
+      & info [ "tilt-iters" ] ~docv:"K"
+          ~doc:"Cross-entropy tuning iterations.")
+  in
+  let per_edge =
+    Arg.(
+      value & flag
+      & info [ "per-edge-tilt" ]
+          ~doc:
+            "Tune one tilt per switch instead of a shared pair (more \
+             parameters; needs more pilot trials to stabilize).")
+  in
+  let particles =
+    Arg.(
+      value & opt int 256
+      & info [ "particles" ] ~docv:"P"
+          ~doc:"Pilot population size for the splitting level schedule.")
+  in
+  let level_p0 =
+    Arg.(
+      value & opt float 0.2
+      & info [ "level-p0" ] ~docv:"Q"
+          ~doc:
+            "Target conditional success fraction per splitting level (the \
+             pilot places each level at this quantile).")
+  in
+  let mutate =
+    Arg.(
+      value & opt float 0.2
+      & info [ "mutate" ] ~docv:"R"
+          ~doc:
+            "Per-coordinate resampling probability of the splitting \
+             Metropolis move.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the result as one JSON object instead of a table.")
+  in
+  let doc =
+    "Rare-event failure estimation for the paper's eps = 1e-6 regime: \
+     cross-entropy-tilted importance sampling and/or multilevel \
+     splitting, orders of magnitude fewer trials than plain Monte Carlo \
+     at the same relative error."
+  in
+  Cmd.v (Cmd.info "rare" ~doc)
+    Term.(
+      const run $ spec_args $ n_arg $ seed_arg $ eps $ eps_grid $ method_
+      $ trials $ pilot_trials $ tilt_iters $ per_edge $ particles $ level_p0
+      $ mutate $ jobs_arg $ json $ obs_args)
+
 (* ---------- traffic ---------- *)
 
 let parse_holding s =
@@ -1365,6 +1725,7 @@ let () =
        (Cmd.group info
           [
             build_cmd; topologies_cmd; faults_cmd; route_cmd; check_cmd;
-            survive_cmd; curve_cmd; traffic_cmd; tournament_cmd; degrade_cmd;
+            survive_cmd; curve_cmd; rare_cmd; traffic_cmd; tournament_cmd;
+            degrade_cmd;
             critical_cmd; render_cmd;
           ]))

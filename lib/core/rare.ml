@@ -1,0 +1,171 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Fault = Ftcsn_reliability.Fault
+module Splitting = Ftcsn_reliability.Splitting
+module Rng = Ftcsn_prng.Rng
+module Flow_route = Ftcsn_routing.Flow_route
+
+type ws = {
+  net : Network.t;
+  fs : Fault_strip.ws;
+  flow : Flow_route.ws;
+  forbidden : int -> bool;
+  probes : int;
+  n_pairs : int;  (* min(inputs, outputs): probe demands live in [1, n] *)
+  m : int;
+  order : int array;  (* edge ids, sorted by the current uniform vector *)
+  plan_r : int array;
+  plan_s : int array array;
+  plan_t : int array array;
+}
+
+let create_ws ?(probes = 3) net =
+  if probes < 1 then invalid_arg "Rare.create_ws: need >= 1 probe";
+  let fs = Fault_strip.create_ws net in
+  let allowed = Fault_strip.ws_allowed fs in
+  let m = Digraph.edge_count net.Network.graph in
+  {
+    net;
+    fs;
+    flow = Flow_route.create_ws net;
+    forbidden = (fun v -> not (allowed v));
+    probes;
+    n_pairs = min (Network.n_inputs net) (Network.n_outputs net);
+    m;
+    order = Array.init m (fun e -> e);
+    plan_r = Array.make probes 0;
+    plan_s = Array.make probes [||];
+    plan_t = Array.make probes [||];
+  }
+
+let size ws = ws.m
+
+(* monotone part of the verdict chain for the CURRENT strip state:
+   isolated inputs, or a flow deficit on the stored probe plan.  Both
+   depend on the faulty edge set only (stripping forbids a faulty
+   switch's endpoints whatever its failure mode), so forcing the faulty
+   prefix to Open_failure in [threshold] loses no generality. *)
+let monotone_of_strip ws =
+  match Fault_strip.ws_isolated_inputs ws.fs with
+  | _ :: _ -> true
+  | [] ->
+      let edge_ok = Fault_strip.ws_edge_ok ws.fs in
+      let rec probe i =
+        i < ws.probes
+        && (Flow_route.max_throughput_ws ~forbidden:ws.forbidden ~edge_ok
+              ws.flow ~input_indices:ws.plan_s.(i)
+              ~output_indices:ws.plan_t.(i)
+            < ws.plan_r.(i)
+           || probe (i + 1))
+      in
+      probe 0
+
+let fails ws rng pattern =
+  Fault_strip.strip_into ws.fs pattern;
+  match Fault_strip.ws_shorted_terminals ws.fs with
+  | _ :: _ -> true
+  | [] -> (
+      match Fault_strip.ws_isolated_inputs ws.fs with
+      | _ :: _ -> true
+      | [] ->
+          let edge_ok = Fault_strip.ws_edge_ok ws.fs in
+          let n = ws.n_pairs in
+          (* draw each probe like Pipeline.route_probe_ws, but stop the
+             flow computations at the first deficit (draws continue, so
+             stream consumption stays fixed) *)
+          let deficit = ref false in
+          for _ = 1 to ws.probes do
+            let r = 1 + Rng.int rng n in
+            let s = Rng.sample_without_replacement rng ~n ~k:r in
+            let t = Rng.sample_without_replacement rng ~n ~k:r in
+            if not !deficit then
+              deficit :=
+                Flow_route.max_throughput_ws ~forbidden:ws.forbidden ~edge_ok
+                  ws.flow ~input_indices:s ~output_indices:t
+                < r
+          done;
+          !deficit)
+
+let prepare ws rng =
+  let n = ws.n_pairs in
+  for i = 0 to ws.probes - 1 do
+    ws.plan_r.(i) <- 1 + Rng.int rng n;
+    ws.plan_s.(i) <- Rng.sample_without_replacement rng ~n ~k:ws.plan_r.(i);
+    ws.plan_t.(i) <- Rng.sample_without_replacement rng ~n ~k:ws.plan_r.(i)
+  done
+
+let monotone_fails ws pattern =
+  Fault_strip.strip_into ws.fs pattern;
+  monotone_of_strip ws
+
+(* does the monotone event hold when exactly the first [j] edges of the
+   sort order are faulty? *)
+let prefix_fails ws j =
+  let pattern = Fault_strip.ws_pattern ws.fs in
+  Array.fill pattern 0 ws.m Fault.Normal;
+  for i = 0 to j - 1 do
+    pattern.(ws.order.(i)) <- Fault.Open_failure
+  done;
+  Fault_strip.strip_into ws.fs pattern;
+  monotone_of_strip ws
+
+let threshold ws u =
+  if Array.length u <> ws.m then
+    invalid_arg "Rare.threshold: uniform vector length mismatch";
+  let order = ws.order in
+  for e = 0 to ws.m - 1 do
+    order.(e) <- e
+  done;
+  Array.sort (fun a b -> Float.compare u.(a) u.(b)) order;
+  if not (prefix_fails ws ws.m) then infinity
+  else if prefix_fails ws 0 then 0.0
+  else begin
+    (* minimal failing prefix by bisection: lo never fails, hi fails *)
+    let lo = ref 0 and hi = ref ws.m in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if prefix_fails ws mid then hi := mid else lo := mid
+    done;
+    (* faulty at rate eps iff u < 2 eps, so the event needs
+       u_(j-1) < 2 eps: the critical eps is u_(j-1) / 2 *)
+    u.(order.(!hi - 1)) /. 2.0
+  end
+
+(* ---------- drivers ---------- *)
+
+let tune_tilt ?iters ?trials ?per_edge ?trace ~rng ~eps net =
+  let m = Digraph.edge_count net.Network.graph in
+  Splitting.cross_entropy ?iters ?trials ?per_edge ?trace ~rng ~m
+    ~eps_open:eps ~eps_close:eps
+    ~init:(fun () -> create_ws net)
+    ~event:fails ()
+
+let failure_tilted ?jobs ?chunk ?trace ~trials ~rng ~eps ~tilt net =
+  let m = Digraph.edge_count net.Network.graph in
+  Splitting.tilted ?jobs ?chunk ?trace ~label:"rare.tilt" ~trials ~rng ~m
+    ~eps_open:eps ~eps_close:eps ~tilt
+    ~init:(fun () -> create_ws net)
+    ~event:fails ()
+
+let failure_tilted_curve ?jobs ?chunk ?trace ~trials ~rng ~grid ~tilt net =
+  let m = Digraph.edge_count net.Network.graph in
+  Splitting.tilted_curve ?jobs ?chunk ?trace ~label:"rare.tilt_curve" ~trials
+    ~rng ~m
+    ~grid:(Array.map (fun e -> (e, e)) grid)
+    ~tilt
+    ~init:(fun () -> create_ws net)
+    ~event:fails ()
+
+let pilot_schedule ?particles ?p0 ?max_levels ?mutate ?trace ~rng ~eps net =
+  let m = Digraph.edge_count net.Network.graph in
+  Splitting.pilot ?particles ?p0 ?max_levels ?mutate ?trace ~rng ~m
+    ~target:eps
+    ~init:(fun () -> create_ws net)
+    ~prepare ~threshold ()
+
+let failure_split ?jobs ?chunk ?trace ?mutate ~trials ~rng ~schedule net =
+  let m = Digraph.edge_count net.Network.graph in
+  Splitting.run ?jobs ?chunk ?trace ~label:"rare.split" ?mutate ~trials ~rng
+    ~m ~schedule
+    ~init:(fun () -> create_ws net)
+    ~prepare ~threshold ()

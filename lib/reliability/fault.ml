@@ -33,6 +33,22 @@ let sample_into rng ~eps_open ~eps_close pattern =
        else Normal)
   done
 
+let sample_tilted_into rng ~tilt_open ~tilt_close pattern =
+  let m = Array.length pattern in
+  if Array.length tilt_open <> m || Array.length tilt_close <> m then
+    invalid_arg "Fault.sample_tilted_into: tilt/pattern length mismatch";
+  for e = 0 to m - 1 do
+    let o = Array.unsafe_get tilt_open e
+    and c = Array.unsafe_get tilt_close e in
+    if o < 0.0 || c < 0.0 || o +. c > 1.0 then
+      invalid_arg "Fault.sample_tilted_into: bad probabilities";
+    let u = Rng.float rng in
+    Array.unsafe_set pattern e
+      (if u < o then Open_failure
+       else if u < o +. c then Closed_failure
+       else Normal)
+  done
+
 let sample_uniforms_into rng uniforms =
   for e = 0 to Array.length uniforms - 1 do
     uniforms.(e) <- Rng.float rng

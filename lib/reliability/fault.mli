@@ -29,6 +29,18 @@ val sample_into :
     zero-allocation inner loop used by the {!Ftcsn_sim.Trials} scratch
     buffers. *)
 
+val sample_tilted_into :
+  Ftcsn_prng.Rng.t -> tilt_open:float array -> tilt_close:float array ->
+  pattern -> unit
+(** Independent per-edge sample under {e per-edge} failure probabilities
+    — the proposal draw of importance-tilted estimation
+    ({!Ftcsn_reliability.Splitting}).  Edge [e] is open with probability
+    [tilt_open.(e)], closed with [tilt_close.(e)]; one uniform is drawn
+    per edge in ascending edge order, so with constant tilt arrays this
+    agrees with {!sample_into} draw-for-draw on equal streams.  Requires
+    [tilt_open.(e) + tilt_close.(e) <= 1] for every edge and lengths
+    equal to the pattern's. *)
+
 val sample_uniforms_into : Ftcsn_prng.Rng.t -> float array -> unit
 (** Draw one uniform per cell in ascending index order into a
     caller-owned buffer (length [edge_count]).  Consumes the stream

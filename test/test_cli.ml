@@ -484,6 +484,97 @@ let test_curve_jobs_deterministic () =
   Alcotest.(check bool) "has estimate rows" true (String.length rows > 0);
   Alcotest.(check string) "curve identical at jobs 1 vs 4" rows (go 4)
 
+(* ---------- rare-event estimation ---------- *)
+
+let test_rare () =
+  let code, out =
+    run
+      "rare --net benes -n 8 --eps 1e-5 --trials 400 --pilot-trials 200 \
+       --tilt-iters 2 --seed 3 --jobs 2"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "rare" out "rare-event failure estimate at eps=1e-05";
+  check_contains "rare" out "method";
+  check_contains "rare" out "tilt";
+  check_contains "rare" out "var_ratio"
+
+let test_rare_json () =
+  let code, out =
+    run
+      "rare --net benes -n 8 --eps 1e-5 --trials 300 --pilot-trials 200 \
+       --tilt-iters 2 --seed 3 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "rare json" out "\"method\":\"tilt\"";
+  check_contains "rare json" out "\"tilt\":{\"mean\":";
+  check_contains "rare json" out "\"variance_ratio\":";
+  check_contains "rare json" out "\"trials\":300"
+
+let test_rare_split () =
+  let code, out =
+    run
+      "rare --net benes -n 8 --eps 1e-3 --method split --trials 400 \
+       --particles 128 --seed 6"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "rare split" out "split";
+  check_contains "rare split" out "level schedule";
+  check_contains "rare split" out "entry rate"
+
+let test_rare_curve () =
+  let code, out =
+    run
+      "rare --net benes -n 8 --eps-grid 1e-5:1e-3:3:log --trials 300 \
+       --pilot-trials 200 --tilt-iters 2 --seed 3"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "rare curve" out "rare-event failure curve";
+  check_contains "rare curve" out "tuned at eps=1e-05";
+  check_contains "rare curve" out "0.001 "
+
+let test_rare_jobs_deterministic () =
+  (* the output names no jobs count in the estimate rows; compare the
+     full table minus the header line that echoes --jobs *)
+  let go jobs =
+    let code, out =
+      run
+        (Printf.sprintf
+           "rare --net benes -n 8 --eps 1e-5 --trials 300 --pilot-trials \
+            200 --tilt-iters 2 --seed 3 --jobs %d"
+           jobs)
+    in
+    Alcotest.(check int) "exit code" 0 code;
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (contains l "jobs"))
+         (String.split_on_char '\n' out))
+  in
+  let one = go 1 in
+  Alcotest.(check bool) "has rows" true (contains one "tilt");
+  Alcotest.(check string) "rare identical at jobs 1 vs 4" one (go 4)
+
+let test_error_rare_method () =
+  check_usage_error "rare bad method" "rare --net benes -n 8 --method nope"
+    "invalid --method value \"nope\""
+
+let test_error_rare_grid_with_split () =
+  check_usage_error "rare grid + split"
+    "rare --net benes -n 8 --eps-grid 1e-5:1e-3:3:log --method split"
+    "only --method tilt supports it"
+
+let test_error_rare_eps () =
+  check_usage_error "rare eps 0" "rare --net benes -n 8 --eps 0"
+    "invalid --eps value";
+  check_usage_error "rare eps big" "rare --net benes -n 8 --eps 0.7"
+    "invalid --eps value"
+
+let test_error_eps_grid_degenerate () =
+  (* a denormal LO with log spacing overflows the spacing arithmetic;
+     must die with the normalized diagnostic, not crash mid-sweep *)
+  check_usage_error "eps-grid denormal log"
+    "curve --family benes -n 4 --trials 10 --eps-grid 4.9e-324:0.5:4:log"
+    "degenerate spacing"
+
 let test_faults_eps_grid () =
   let code, out =
     run "faults --family benes -n 8 --eps-grid 0.01:0.1:3 --trials 50 --seed 2"
@@ -551,7 +642,7 @@ let test_help () =
     (fun sub -> check_contains "help lists subcommand" out sub)
     [
       "build"; "topologies"; "faults"; "route"; "check"; "survive"; "curve";
-      "traffic"; "tournament"; "degrade"; "critical"; "render";
+      "rare"; "traffic"; "tournament"; "degrade"; "critical"; "render";
     ]
 
 let () =
@@ -572,6 +663,12 @@ let () =
           Alcotest.test_case "curve json" `Quick test_curve_json;
           Alcotest.test_case "curve deterministic across jobs" `Quick
             test_curve_jobs_deterministic;
+          Alcotest.test_case "rare" `Quick test_rare;
+          Alcotest.test_case "rare json" `Quick test_rare_json;
+          Alcotest.test_case "rare split" `Slow test_rare_split;
+          Alcotest.test_case "rare curve" `Quick test_rare_curve;
+          Alcotest.test_case "rare deterministic across jobs" `Quick
+            test_rare_jobs_deterministic;
           Alcotest.test_case "faults eps-grid" `Quick test_faults_eps_grid;
           Alcotest.test_case "route eps-grid" `Quick test_route_eps_grid;
           Alcotest.test_case "degrade" `Quick test_degrade;
@@ -636,6 +733,12 @@ let () =
           Alcotest.test_case "traffic holding" `Quick test_error_traffic_holding;
           Alcotest.test_case "traffic policy" `Quick test_error_traffic_policy;
           Alcotest.test_case "traffic mtbf" `Quick test_error_traffic_mtbf;
+          Alcotest.test_case "rare method" `Quick test_error_rare_method;
+          Alcotest.test_case "rare grid with split" `Quick
+            test_error_rare_grid_with_split;
+          Alcotest.test_case "rare eps range" `Quick test_error_rare_eps;
+          Alcotest.test_case "eps-grid degenerate" `Quick
+            test_error_eps_grid_degenerate;
           Alcotest.test_case "degrade arrival range" `Quick
             test_error_degrade_arrival;
         ] );
