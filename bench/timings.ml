@@ -334,8 +334,103 @@ let engine_samples ?(quick = false) ~jobs_list () =
                 Float
                   (b.Ftcsn_des.Batch_means.ci_high
                   -. b.Ftcsn_des.Batch_means.ci_low) );
+              ( "minor_words_per_event",
+                Float
+                  (t.minor_words_per_trial *. float_of_int t.trials
+                  /. float_of_int s.Ftcsn_des.Traffic.t_events) );
             ];
         }
+  in
+  (* Million-switch scale pair (the scale-layer headline): the sharded
+     engine with incremental Dyn_conn catastrophe checks on the largest
+     Benes that fits the run budget, raced against {!Traffic_ref} — the
+     frozen pre-scale-layer engine — on the {e same} network.  The
+     baseline rebuilds terminal connectivity from scratch on every
+     closed failure (O(V + E) per event at ~2M edges), so it only
+     affords a much shorter horizon; events/s is horizon-independent
+     once clock bootstrap is amortized, so the rates stay comparable.
+     Quick mode shrinks the network but keeps the row names: CI greps
+     for them, and the [switches] extra records the honest size. *)
+  let scale_n = if quick then 1_024 else 32_768 in
+  let scale_net = Benes.create scale_n in
+  let scale_switches = Network.size scale_net in
+  let scale_config ~horizon =
+    Ftcsn_des.Traffic.config ~load:50.0 ~mtbf:1000.0 ~mttr:1.0
+      ~stop:(Ftcsn_des.Traffic.Horizon horizon) ~shards:8 ()
+  in
+  let scale_horizon = if quick then 20.0 else 50.0 in
+  let ref_horizon = if quick then 5.0 else 1.0 in
+  let scale_last = ref None in
+  let scale_sweep ~jobs ~trials ~trace =
+    let rng = Rng.create ~seed:49 in
+    scale_last :=
+      Some
+        (Ftcsn_des.Traffic.estimate ~jobs ~trace ~trials ~rng
+           ~config:(scale_config ~horizon:scale_horizon) scale_net)
+  in
+  let ref_last = ref None in
+  let ref_sweep ~jobs ~trials ~trace =
+    let rng = Rng.create ~seed:49 in
+    ref_last :=
+      Some
+        (Ftcsn_des.Traffic_ref.estimate ~jobs ~trace ~trials ~rng
+           ~config:(scale_config ~horizon:ref_horizon) scale_net)
+  in
+  let events_per_sec last t =
+    match !last with
+    | None -> nan
+    | Some s -> float_of_int s.Ftcsn_des.Traffic.t_events /. t.seconds
+  in
+  let scale_baseline =
+    let t =
+      timed ~reps:1 ~bench:"traffic-benes-1M-baseline" ~jobs:1 ~trials:1
+        ref_sweep
+    in
+    let open Ftcsn_obs.Json in
+    {
+      t with
+      extras =
+        [
+          ("switches", Int scale_switches);
+          ("n", Int scale_n);
+          ("horizon", Float ref_horizon);
+          ("events_per_sec", Float (events_per_sec ref_last t));
+        ];
+    }
+  in
+  let scale =
+    let t =
+      timed ~reps:1 ~bench:"traffic-benes-1M" ~jobs:1 ~trials:1 scale_sweep
+    in
+    let open Ftcsn_obs.Json in
+    let eps_new = events_per_sec scale_last t in
+    let eps_ref =
+      match List.assoc_opt "events_per_sec" scale_baseline.extras with
+      | Some (Float v) -> v
+      | _ -> nan
+    in
+    let events =
+      match !scale_last with
+      | Some s -> s.Ftcsn_des.Traffic.t_events
+      | None -> 0
+    in
+    {
+      t with
+      extras =
+        [
+          ("switches", Int scale_switches);
+          ("n", Int scale_n);
+          ("horizon", Float scale_horizon);
+          ("shards", Int 8);
+          ("events", Int events);
+          ("events_per_sec", Float eps_new);
+          ("speedup_vs_ref", Float (eps_new /. eps_ref));
+          ( "minor_words_per_event",
+            Float
+              (if events = 0 then nan
+               else t.minor_words_per_trial /. float_of_int events) );
+        ];
+    }
   in
   (* Rare-event pair: the cross-entropy-tilted estimator at the paper's
      eps = 1e-6 on benes-16, against a plain-MC sweep at the same eps
@@ -438,26 +533,35 @@ let engine_samples ?(quick = false) ~jobs_list () =
         }
   in
   ( tournament_last,
-    per_jobs @ [ curve; independent; traffic; mc_price; rare; tournament ] )
+    per_jobs
+    @ [
+        curve; independent; traffic; scale_baseline; scale; mc_price; rare;
+        tournament;
+      ] )
 
 let write_json path samples =
   let open Ftcsn_obs.Json in
+  let cores = Domain.recommended_domain_count () in
   let sample_json s =
     Obj
       ([
-        ("name", String s.bench);
-        ("jobs", Int s.jobs);
-        ("trials", Int s.trials);
-        ("seconds", Float s.seconds);
-        ("trials_per_sec", Float s.rate);
-        ("chunks", Int s.chunks);
-        ("worker_seconds", Float s.worker_seconds);
-        ("overhead_seconds", Float s.overhead_seconds);
-        ("pool_spawns", Int s.pool_spawns);
-        ("pool_reused", Bool s.pool_reused);
-        ("minor_words_per_trial", Float s.minor_words_per_trial);
-        ("promoted_words_per_trial", Float s.promoted_words_per_trial);
-      ]
+         ("name", String s.bench);
+         ("jobs", Int s.jobs);
+         ("trials", Int s.trials);
+         ("seconds", Float s.seconds);
+         ("trials_per_sec", Float s.rate);
+         ("chunks", Int s.chunks);
+         ("worker_seconds", Float s.worker_seconds);
+         ("overhead_seconds", Float s.overhead_seconds);
+         ("pool_spawns", Int s.pool_spawns);
+         ("pool_reused", Bool s.pool_reused);
+         ("minor_words_per_trial", Float s.minor_words_per_trial);
+         ("promoted_words_per_trial", Float s.promoted_words_per_trial);
+       ]
+      (* a jobs>cores run cannot execute its domains concurrently; flag
+         it so rate comparisons across hosts don't read the missing
+         hardware as an engine regression *)
+      @ (if s.jobs > cores then [ ("oversubscribed", Bool true) ] else [])
       @ s.extras)
   in
   let doc =
@@ -511,6 +615,28 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
          width %.4f) over %d replications\n"
         (f "events_per_sec") (f "calls_per_sec") (f "blocking_mean")
         (f "blocking_ci_width") t.trials
+  | None -> ());
+  (* scale-layer headline: the sharded incremental engine's event rate
+     on the million-switch network against the frozen pre-scale-layer
+     engine on the same network *)
+  (match List.find_opt (fun s -> s.bench = "traffic-benes-1M") samples with
+  | Some t ->
+      let f key =
+        match List.assoc_opt key t.extras with
+        | Some (Ftcsn_obs.Json.Float v) -> v
+        | _ -> nan
+      in
+      let i key =
+        match List.assoc_opt key t.extras with
+        | Some (Ftcsn_obs.Json.Int v) -> v
+        | _ -> 0
+      in
+      Printf.printf
+        "traffic-benes-1M: %d switches, %d events in %.2fs = %.0f events/s \
+         (%.1f minor w/event); %.1fx the pre-scale-layer engine\n"
+        (i "switches") (i "events") t.seconds (f "events_per_sec")
+        (f "minor_words_per_event")
+        (f "speedup_vs_ref")
   | None -> ());
   (* rare-event headline: the tilted estimator's precision priced
      against plain MC in the same wall-clock budget *)

@@ -43,6 +43,7 @@ module Monte_carlo = Ftcsn_reliability.Monte_carlo
 module Splitting = Ftcsn_reliability.Splitting
 module Trials = Ftcsn_sim.Trials
 module Traffic = Ftcsn_des.Traffic
+module Shard = Ftcsn_des.Shard
 module Dist = Ftcsn_des.Dist
 module Batch_means = Ftcsn_des.Batch_means
 module Obs_json = Ftcsn_obs.Json
@@ -1274,11 +1275,12 @@ let parse_policy s =
 
 let traffic_cmd =
   let run family n seed load holding mtbf mttr warmup calls batches policy
-      trials jobs json obsargs =
+      shards trials jobs json obsargs =
     let trials = check_pos "--trials" trials in
     let jobs = check_jobs jobs in
     let calls = check_pos "--calls" calls in
     let batches = check_pos "--batches" batches in
+    let shards = check_pos "--shards" shards in
     if warmup < 0 then
       die "invalid --warmup value %d: must be an integer >= 0" warmup;
     if not (load > 0.0 && Float.is_finite load) then
@@ -1292,17 +1294,30 @@ let traffic_cmd =
            permanent failures)" mttr;
     let holding = parse_holding holding in
     let policy = parse_policy policy in
+    (* with a single replication the --jobs domains would otherwise sit
+       idle, so lease them to the shard drains instead *)
+    let shard_jobs = if trials = 1 && shards > 1 then jobs else 1 in
     let config =
       try
         Traffic.config ~load ~holding
           ~mtbf:(Option.value mtbf ~default:infinity)
           ~mttr
           ~stop:(Traffic.Calls { warmup; measured = calls })
-          ~batches ~policy ()
+          ~batches ~policy ~shards ~shard_jobs ()
       with Invalid_argument msg -> die "%s" msg
     in
     with_obs obsargs @@ fun obs ->
-    let net = phase obs "build-network" (fun () -> build_net family ~n ~seed) in
+    let built =
+      phase obs "build-network" (fun () -> build_network family ~n ~seed)
+    in
+    let net = built.Topology.net in
+    (if shards > 1 then
+       let regions = Shard.regions net in
+       if shards > regions then
+         die
+           "invalid --shards value %d: exceeds the %d shardable regions of \
+            this topology"
+           shards regions);
     let rng = Seeds.traffic seed in
     let s =
       phase obs "estimate" (fun () ->
@@ -1324,6 +1339,9 @@ let traffic_cmd =
                 ("inputs", Obs_json.Int (Network.n_inputs net));
                 ("outputs", Obs_json.Int (Network.n_outputs net));
                 ("switches", Obs_json.Int (Network.size net));
+                ("n_requested", Obs_json.Int built.Topology.n_requested);
+                ("n_effective", Obs_json.Int built.Topology.n_effective);
+                ("shards", Obs_json.Int shards);
                 ("load", Obs_json.Float load);
                 ("holding", Obs_json.String (Format.asprintf "%a" Dist.pp_holding holding));
                 ("replications", Obs_json.Int s.Traffic.replications);
@@ -1348,12 +1366,19 @@ let traffic_cmd =
               ]))
     else begin
       Format.printf "%a@." Network.pp net;
+      if built.Topology.n_effective <> built.Topology.n_requested then
+        Format.printf "effective n: %d (requested %d)@."
+          built.Topology.n_effective built.Topology.n_requested
+      else Format.printf "effective n: %d@." built.Topology.n_effective;
       Format.printf
         "offered load %g Erlang, holding %a, %d replication%s x (%d warmup \
-         + %d measured calls), jobs=%d@."
+         + %d measured calls), jobs=%d%s@."
         load Dist.pp_holding holding s.Traffic.replications
         (if s.Traffic.replications = 1 then "" else "s")
-        warmup calls jobs;
+        warmup calls jobs
+        (if shards > 1 then
+           Printf.sprintf ", shards=%d (shard-jobs=%d)" shards shard_jobs
+         else "");
       Format.printf
         "blocking: %.5f  (95%% CI [%.5f, %.5f], %d batches, %d measured calls)@."
         b.Batch_means.mean b.Batch_means.ci_low b.Batch_means.ci_high
@@ -1429,6 +1454,18 @@ let traffic_cmd =
                 rearrange[:BUDGET] (re-lay all live calls with backtracking \
                 when the greedy probe blocks; default budget 10000).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:
+               "Event shards for million-switch networks (default 1 = the \
+                monolithic engine).  Open-switch failure/repair events are \
+                partitioned across $(docv) contiguous stage-level blocks, \
+                each drained on its own heap up to the next call event.  \
+                Must not exceed the topology's shardable regions.  With \
+                --trials 1 the --jobs domains drain shards concurrently; \
+                results are deterministic at every job count either way.")
+  in
   let trials =
     trials_arg ~default:5 ~doc:"Independent replications (one substream each)."
   in
@@ -1446,8 +1483,8 @@ let traffic_cmd =
   Cmd.v (Cmd.info "traffic" ~doc)
     Term.(
       const run $ spec_args $ n_arg $ seed_arg $ load $ holding $ mtbf
-      $ mttr $ warmup $ calls $ batches $ policy $ trials $ jobs_arg $ json
-      $ obs_args)
+      $ mttr $ warmup $ calls $ batches $ policy $ shards $ trials
+      $ jobs_arg $ json $ obs_args)
 
 (* ---------- degrade ---------- *)
 

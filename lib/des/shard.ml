@@ -1,0 +1,104 @@
+module Network = Ftcsn_networks.Network
+module Digraph = Ftcsn_graph.Digraph
+module Traverse = Ftcsn_graph.Traverse
+
+(* Vertex levels: longest directed path (in edges) from any source
+   (in-degree-0 vertex) — computed by one relaxation sweep in
+   topological order.  An edge inherits the level of its source vertex,
+   so edges of one level form an antichain-of-stages slice: two edges in
+   the same slice never lie on a common directed path "at the same
+   time", which is what lets one shard own a contiguous block of levels
+   and drain its open-failure clocks independently. *)
+let vertex_levels g =
+  match Traverse.topological_order g with
+  | None -> None
+  | Some ord ->
+      let n = Digraph.vertex_count g in
+      let level = Array.make n 0 in
+      Array.iter
+        (fun u ->
+          let lu = level.(u) in
+          Digraph.iter_out g u (fun ~dst ~eid:_ ->
+              if level.(dst) < lu + 1 then level.(dst) <- lu + 1))
+        ord;
+      Some level
+
+(* Per-level edge counts, or None for a cyclic graph.  Level k's count
+   is the number of edges whose source vertex sits at level k. *)
+let level_edge_counts net =
+  let g = net.Network.graph in
+  match vertex_levels g with
+  | None -> None
+  | Some level ->
+      let m = Digraph.edge_count g in
+      let maxl = ref 0 in
+      for e = 0 to m - 1 do
+        let l = level.(Digraph.edge_src g e) in
+        if l > !maxl then maxl := l
+      done;
+      let counts = Array.make (!maxl + 1) 0 in
+      for e = 0 to m - 1 do
+        let l = level.(Digraph.edge_src g e) in
+        counts.(l) <- counts.(l) + 1
+      done;
+      Some (level, counts)
+
+let regions net =
+  match level_edge_counts net with
+  | None -> 1 (* cyclic: no layer structure to exploit, one region *)
+  | Some (_, counts) ->
+      let r = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 counts in
+      max r 1
+
+let max_shards = 255 (* shard ids live in a Bytes.t, one byte per edge *)
+
+let partition net ~shards =
+  if shards < 1 then invalid_arg "Shard.partition: need shards >= 1";
+  if shards > max_shards then
+    invalid_arg "Shard.partition: at most 255 shards";
+  let g = net.Network.graph in
+  let m = Digraph.edge_count g in
+  match level_edge_counts net with
+  | None ->
+      if shards > 1 then
+        invalid_arg "Shard.partition: cyclic network has a single region";
+      Bytes.make m '\000'
+  | Some (level, counts) ->
+      let nonempty =
+        Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 counts
+      in
+      if shards > max nonempty 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Shard.partition: %d shards exceed the %d shardable regions"
+             shards (max nonempty 1));
+      (* Assign contiguous level blocks to shards, balancing cumulative
+         edge count, while reserving one nonempty level for every shard
+         still unassigned. *)
+      let shard_of_level = Array.make (Array.length counts) 0 in
+      let s = ref 0 and acc = ref 0 and left = ref nonempty in
+      Array.iteri
+        (fun l c ->
+          if c > 0 then begin
+            (* close the current shard before [l] if it is already at
+               or past its proportional share, or if the remaining
+               nonempty levels are only just enough for the remaining
+               shards *)
+            if
+              !s < shards - 1
+              && !acc > 0
+              && (!acc * shards >= (!s + 1) * m || !left <= shards - 1 - !s)
+            then incr s;
+            decr left
+          end;
+          shard_of_level.(l) <- !s;
+          if c > 0 then acc := !acc + c)
+        counts;
+      let b = Bytes.make m '\000' in
+      for e = 0 to m - 1 do
+        let sh = shard_of_level.(level.(Digraph.edge_src g e)) in
+        Bytes.unsafe_set b e (Char.unsafe_chr sh)
+      done;
+      b
+
+let shard_of b e = Char.code (Bytes.unsafe_get b e)

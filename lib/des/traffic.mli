@@ -32,7 +32,39 @@
     intervals ({!Batch_means}); the engine also integrates the number of
     concurrent calls over the window so estimates can be cross-checked
     against Little's law (time-average occupancy [L] versus carried
-    load [λ·W̄]). *)
+    load [λ·W̄]).
+
+    {2 The scale layer: sharded execution}
+
+    With [shards > 1] the engine switches to event-sharded execution
+    for million-switch networks: {!Shard.partition} splits the edges
+    into contiguous topological-level blocks, each with its own event
+    heap, PRNG substream and scratch buffers.  Open-switch failures and
+    repairs — the overwhelming bulk of events at scale, and the only
+    ones that never touch global connectivity — stay shard-local; calls
+    (arrivals, hangups) and closed failures stay on a global control
+    heap.  Each step drains every shard up to the next control event (a
+    conservative safe window), merges the buffered cross-shard effects
+    deterministically, and executes one control event.  [shard_jobs]
+    leases that many domains from the {!Ftcsn_sim.Trials} pool to run
+    the drains concurrently {e within} one replication.
+
+    The sharded mode is deterministic — a pure function of the seed,
+    identical at every [shard_jobs] and [jobs] and with tracing on or
+    off — but it is a {e different documented discretization} from
+    [shards = 1], not bit-identical to it: the open/closed coin is
+    pre-drawn at scheduling time, per-edge clocks come from the owning
+    shard's substream, and a call severed by an open failure inside a
+    window is rerouted at window commit over the fault mask as of the
+    window end (a bounded relaxation — one control-event interarrival —
+    of the instantaneous-reroute rule).  No sever is ever missed: calls
+    placed or rerouted at commit route over the fully-committed mask,
+    so they cannot cross an edge that failed during the window.
+
+    With [shards = 1] (the default) the engine is bit-identical to the
+    pre-scale-layer implementation, event for event and draw for draw
+    — {!Traffic_ref} keeps that engine frozen and the test suite pins
+    the equivalence. *)
 
 type stop =
   | Horizon of float
@@ -67,6 +99,13 @@ type config = private {
           terminals that could not be routed, a severed call that could
           not be rerouted, or a catastrophe (system-full losses are a
           capacity limit, not degradation) *)
+  shards : int;
+      (** event shards (default 1 = the monolithic engine); must not
+          exceed {!Shard.regions} of the simulated network *)
+  shard_jobs : int;
+      (** domains leased from the {!Ftcsn_sim.Trials} pool to drain
+          shards concurrently within one replication (default 1;
+          results are identical at every value) *)
 }
 
 val config :
@@ -79,14 +118,18 @@ val config :
   ?policy:policy ->
   ?saturate:bool ->
   ?stop_on_degradation:bool ->
+  ?shards:int ->
+  ?shard_jobs:int ->
   unit ->
   config
 (** Validated constructor (defaults: load 1.0 Erlang, exponential
     holding, no failures, mttr 10, [Calls {warmup = 500; measured =
-    5000}], 10 batches, greedy policy).
+    5000}], 10 batches, greedy policy, 1 shard).
     @raise Invalid_argument on out-of-range values, e.g. [load < 0],
-    [mtbf <= 0], [batches < 2], a [Calls] stop with [load = 0], or a
-    non-finite horizon. *)
+    [mtbf <= 0], [batches < 2], a [Calls] stop with [load = 0], a
+    non-finite horizon, or [shards < 1].  ([shards] against the
+    network's region count is checked by {!run}, which knows the
+    network.) *)
 
 type stats = {
   sim_time : float;  (** simulated time at the end of the run *)

@@ -129,9 +129,19 @@ let shortest_path_into ?(allowed = always) ?(edge_ok = always) g ~src ~dst
     queue.(!tail) <- src;
     incr tail;
     let found = ref false in
-    let visit u v =
-      if (not (v = src || parent.(v) >= 0)) && (v = dst || allowed v) then begin
-        parent.(v) <- u;
+    (* the expansion callback is hoisted out of the dequeue loop and
+       reads the current vertex through [cur]: a closure capturing [u]
+       directly would be freshly allocated for every dequeued vertex,
+       and that O(V)-words-per-call cost dominates the DES call path on
+       large networks *)
+    let cur = ref src in
+    let visit ~dst:v ~eid =
+      if
+        edge_ok eid
+        && (not (v = src || parent.(v) >= 0))
+        && (v = dst || allowed v)
+      then begin
+        parent.(v) <- !cur;
         if v = dst then found := true
         else begin
           queue.(!tail) <- v;
@@ -142,9 +152,75 @@ let shortest_path_into ?(allowed = always) ?(edge_ok = always) g ~src ~dst
     while (not !found) && !head < !tail do
       let u = queue.(!head) in
       incr head;
-      Digraph.iter_out g u (fun ~dst:v ~eid -> if edge_ok eid then visit u v)
+      cur := u;
+      Digraph.iter_out g u visit
     done;
     if !found then Some (path_of_parents parent ~src ~dst) else None
+  end
+
+(* [shortest_path_into] with the path written into a caller buffer
+   instead of a fresh list — the zero-allocation route of the DES call
+   path.  The BFS loop is kept textually in sync with the list variant
+   above; only the extraction differs (reverse parent walk into [buf],
+   then an in-place reversal). *)
+let shortest_path_into_buf ?(allowed = always) ?(edge_ok = always) g ~src ~dst
+    ~parent ~queue ~buf =
+  let n = Digraph.vertex_count g in
+  if Array.length parent < n || Array.length queue < n || Array.length buf < n
+  then invalid_arg "Traverse.shortest_path_into_buf: scratch arrays too small";
+  if src = dst then begin
+    buf.(0) <- src;
+    1
+  end
+  else begin
+    Array.fill parent 0 n (-1);
+    let head = ref 0 and tail = ref 0 in
+    queue.(!tail) <- src;
+    incr tail;
+    let found = ref false in
+    (* hoisted expansion callback; see the note in [shortest_path_into] *)
+    let cur = ref src in
+    let visit ~dst:v ~eid =
+      if
+        edge_ok eid
+        && (not (v = src || parent.(v) >= 0))
+        && (v = dst || allowed v)
+      then begin
+        parent.(v) <- !cur;
+        if v = dst then found := true
+        else begin
+          queue.(!tail) <- v;
+          incr tail
+        end
+      end
+    in
+    while (not !found) && !head < !tail do
+      let u = queue.(!head) in
+      incr head;
+      cur := u;
+      Digraph.iter_out g u visit
+    done;
+    if not !found then -1
+    else begin
+      let len = ref 0 in
+      let v = ref dst in
+      while !v <> src do
+        buf.(!len) <- !v;
+        incr len;
+        v := parent.(!v)
+      done;
+      buf.(!len) <- src;
+      incr len;
+      let i = ref 0 and j = ref (!len - 1) in
+      while !i < !j do
+        let tmp = buf.(!i) in
+        buf.(!i) <- buf.(!j);
+        buf.(!j) <- tmp;
+        incr i;
+        decr j
+      done;
+      !len
+    end
   end
 
 let topological_order ?(edge_ok = always) g =

@@ -83,6 +83,22 @@ val shortest_path_into :
     path list is the only allocation.  Same FIFO discipline as
     {!shortest_path}, hence the same path. *)
 
+val shortest_path_into_buf :
+  ?allowed:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  parent:int array ->
+  queue:int array ->
+  buf:int array ->
+  int
+(** Fully allocation-free {!shortest_path_into}: the path is written into
+    [buf.(0 .. len-1)] (caller-owned, length at least [vertex_count g])
+    and its length returned, or [-1] when no path exists.  Identical BFS
+    discipline, so [buf] holds exactly the vertices
+    {!shortest_path_into} would have returned as a list. *)
+
 val topological_order : ?edge_ok:(int -> bool) -> Digraph.t -> int array option
 (** Kahn's algorithm; [None] when the graph (restricted to [edge_ok]
     edges) has a directed cycle. *)

@@ -1,0 +1,121 @@
+module Digraph = Ftcsn_graph.Digraph
+module Stamped = Ftcsn_util.Union_find.Stamped
+module Metrics = Ftcsn_obs.Metrics
+
+let c_rebuild = Metrics.counter Metrics.default "dyn_conn.rebuilds"
+
+(* Closed-failure connectivity as an incremental overlay.
+
+   Closing an edge unions its endpoints in a generation-stamped forest —
+   O(alpha) — and maintains a per-root count of terminals so the Lemma-7
+   "two terminals in one contraction class" verdict is a flag read.
+   Reopening an edge cannot split a union-find class, so it only marks
+   the structure dirty; the next query bumps the generation (an O(1)
+   reset) and re-unions the *live* closed set, whose membership is kept
+   in an items/pos index pool.  Failures are rare relative to queries and
+   the live closed set is small in any survivable regime, so the rebuild
+   amortises to far below the O(n + m) scan it replaces. *)
+type t = {
+  graph : Digraph.t;
+  suf : Stamped.t;
+  is_terminal : bool array;
+  (* per-root live-terminal count, valid when tstamp matches the forest
+     generation; a root never observed this generation counts itself *)
+  tcount : int array;
+  tstamp : int array;
+  (* closed-edge index pool: [closed] is a permutation of [0, m) whose
+     prefix [0, csize) is the currently-closed set, [cpos] its inverse *)
+  closed : int array;
+  cpos : int array;
+  mutable csize : int;
+  mutable shorted : bool;
+  mutable dirty : bool;
+  mutable rebuilds : int;
+}
+
+let create ~terminals graph =
+  let n = Digraph.vertex_count graph in
+  let m = Digraph.edge_count graph in
+  let is_terminal = Array.make n false in
+  List.iter (fun v -> is_terminal.(v) <- true) terminals;
+  {
+    graph;
+    suf = Stamped.create n;
+    is_terminal;
+    tcount = Array.make n 0;
+    tstamp = Array.make n 0;
+    closed = Array.init m Fun.id;
+    cpos = Array.init m Fun.id;
+    csize = 0;
+    shorted = false;
+    dirty = false;
+    rebuilds = 0;
+  }
+
+let closed_count t = t.csize
+
+let rebuilds t = t.rebuilds
+
+let tcount_of t r =
+  if t.tstamp.(r) = Stamped.generation t.suf then t.tcount.(r)
+  else if t.is_terminal.(r) then 1
+  else 0
+
+let union_endpoints t e =
+  let u, v = Digraph.edge_endpoints t.graph e in
+  let ru = Stamped.find t.suf u and rv = Stamped.find t.suf v in
+  if ru <> rv then begin
+    let total = tcount_of t ru + tcount_of t rv in
+    Stamped.union t.suf ru rv;
+    let r = Stamped.find t.suf u in
+    t.tcount.(r) <- total;
+    t.tstamp.(r) <- Stamped.generation t.suf;
+    if total >= 2 then t.shorted <- true
+  end
+
+let flush t =
+  if t.dirty then begin
+    Stamped.reset t.suf;
+    t.shorted <- false;
+    for i = 0 to t.csize - 1 do
+      union_endpoints t t.closed.(i)
+    done;
+    t.dirty <- false;
+    t.rebuilds <- t.rebuilds + 1;
+    Ftcsn_obs.Counter.incr c_rebuild
+  end
+
+let close t e =
+  let i = t.cpos.(e) in
+  if i >= t.csize then begin
+    let j = t.csize in
+    let y = t.closed.(j) in
+    t.closed.(j) <- e;
+    t.cpos.(e) <- j;
+    t.closed.(i) <- y;
+    t.cpos.(y) <- i;
+    t.csize <- j + 1;
+    (* a pending rebuild will union the whole live set, [e] included *)
+    if not t.dirty then union_endpoints t e
+  end
+
+let reopen t e =
+  let i = t.cpos.(e) in
+  if i < t.csize then begin
+    let last = t.csize - 1 in
+    let y = t.closed.(last) in
+    t.closed.(i) <- y;
+    t.cpos.(y) <- i;
+    t.closed.(last) <- e;
+    t.cpos.(e) <- last;
+    t.csize <- last;
+    t.dirty <- true
+  end
+
+let connected t a b =
+  flush t;
+  Stamped.equiv t.suf a b
+
+let terminals_shorted t =
+  flush t;
+  t.shorted

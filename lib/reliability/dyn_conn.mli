@@ -1,0 +1,59 @@
+(** Incremental/decremental closed-failure connectivity.
+
+    The DES traffic engine needs two queries after every switch event:
+    "are these vertices contracted together by closed failures?" and the
+    Lemma-7 catastrophe check "do any two terminals share a closed
+    contraction class?".  The batch answer ({!Survivor.shorted_by_closure}
+    and the [terminals_shorted] scan it implied) rebuilds a union-find
+    over the whole edge array — O(n + m) per event, which is exactly what
+    caps the engine at small n.
+
+    This structure makes fault state an overlay over the static topology:
+
+    - {!close} unions the edge's endpoints in a generation-stamped forest
+      ({!Ftcsn_util.Union_find.Stamped}) and maintains a per-root count of
+      terminals, so the catastrophe verdict is maintained, not recomputed
+      — amortised O(alpha).
+    - {!reopen} cannot split a class, so it just removes the edge from the
+      live closed set (an items/pos index pool, O(1)) and ticks a rebuild
+      epoch: the next query pays one O(1) generation bump plus a re-union
+      of only the {e currently} closed edges — O(f·alpha) for f live
+      failures, not O(m).
+
+    Verdicts agree exactly with the batch oracles at every point of any
+    close/reopen sequence; the qcheck suite pins this against
+    {!Survivor.shorted_by_closure_into} on every registry family.
+
+    Single-domain state: never share an instance between domains.
+    Rebuilds are counted under [dyn_conn.rebuilds] in the default metrics
+    registry. *)
+
+type t
+
+val create : terminals:int list -> Ftcsn_graph.Digraph.t -> t
+(** Workspace over a fixed graph with the given terminal set (the
+    vertices whose contraction constitutes a catastrophe).  All edges
+    start normal. *)
+
+val close : t -> int -> unit
+(** Mark an edge closed-failed.  No-op if already closed. *)
+
+val reopen : t -> int -> unit
+(** Repair a closed edge.  No-op if not closed.  O(1) now; the deferred
+    epoch rebuild runs at the next query. *)
+
+val connected : t -> int -> int -> bool
+(** [connected t a b]: are [a] and [b] in one closed-contraction class?
+    Same verdict as {!Survivor.shorted_by_closure} on the equivalent
+    fault pattern. *)
+
+val terminals_shorted : t -> bool
+(** Lemma-7 catastrophe: do two terminals share a closed class?  O(1)
+    when no repair is pending. *)
+
+val closed_count : t -> int
+(** Number of currently-closed edges. *)
+
+val rebuilds : t -> int
+(** Epoch rebuilds performed so far (observability; also counted under
+    [dyn_conn.rebuilds]). *)

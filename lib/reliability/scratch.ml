@@ -15,7 +15,7 @@ type t = {
   pattern : Fault.pattern;
   uniforms : float array;
   faulty : Bitset.t;
-  uf : Union_find.t;
+  suf : Union_find.Stamped.t;
   queue : int array;
   dist : int array;
   parent : int array;
@@ -33,7 +33,7 @@ let create graph =
     pattern = Fault.all_normal m;
     uniforms = Array.make m 0.0;
     faulty = Bitset.create n;
-    uf = Union_find.create n;
+    suf = Union_find.Stamped.create n;
     queue = Array.make n 0;
     dist = Array.make n (-1);
     parent = Array.make n (-1);

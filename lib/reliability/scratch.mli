@@ -35,8 +35,10 @@ type t = {
   faulty : Ftcsn_util.Bitset.t;
       (** faulty-vertex buffer, capacity [vertex_count graph] (refill
           with {!Fault.faulty_vertices_into}) *)
-  uf : Ftcsn_util.Union_find.t;
-      (** contraction classes; reset at the start of each use *)
+  suf : Ftcsn_util.Union_find.Stamped.t;
+      (** contraction classes; generation-stamped, so the per-use reset
+          is O(1) instead of O(n) — the epoch trick {!Dyn_conn} extends
+          to incremental failure/repair sequences *)
   queue : int array;  (** BFS ring buffer, length [vertex_count graph] *)
   dist : int array;  (** BFS distances, length [vertex_count graph] *)
   parent : int array;

@@ -112,23 +112,23 @@ let apply_into sc pattern =
   let g = sc.Scratch.graph in
   if Array.length pattern <> Digraph.edge_count g then
     invalid_arg "Survivor.apply_into: pattern arity";
-  let uf = sc.Scratch.uf in
-  Union_find.reset uf;
+  let uf = sc.Scratch.suf in
+  Union_find.Stamped.reset uf;
   Array.iteri
     (fun e s ->
       if Fault.state_equal s Fault.Closed_failure then begin
         let src, dst = Digraph.edge_endpoints g e in
-        Union_find.union uf src dst
+        Union_find.Stamped.union uf src dst
       end)
     pattern
 
 let terminals_distinct_into sc terminals =
   let gen = Scratch.next_generation sc in
-  let mark = sc.Scratch.mark and uf = sc.Scratch.uf in
+  let mark = sc.Scratch.mark and uf = sc.Scratch.suf in
   let rec go = function
     | [] -> true
     | v :: rest ->
-        let r = Union_find.find uf v in
+        let r = Union_find.Stamped.find uf v in
         if mark.(r) = gen then false
         else begin
           mark.(r) <- gen;
@@ -141,11 +141,11 @@ let merged_pairs_into sc terminals =
   let gen = Scratch.next_generation sc in
   let mark = sc.Scratch.mark
   and mark_value = sc.Scratch.mark_value
-  and uf = sc.Scratch.uf in
+  and uf = sc.Scratch.suf in
   let pairs = ref [] in
   List.iter
     (fun v ->
-      let r = Union_find.find uf v in
+      let r = Union_find.Stamped.find uf v in
       if mark.(r) = gen then pairs := (mark_value.(r), v) :: !pairs;
       mark.(r) <- gen;
       mark_value.(r) <- v)
@@ -155,16 +155,16 @@ let merged_pairs_into sc terminals =
 let shorted_by_closure_into sc pattern ~a ~b =
   Ftcsn_obs.Counter.incr c_shorted;
   let g = sc.Scratch.graph in
-  let uf = sc.Scratch.uf in
-  Union_find.reset uf;
+  let uf = sc.Scratch.suf in
+  Union_find.Stamped.reset uf;
   Array.iteri
     (fun e s ->
       if Fault.state_equal s Fault.Closed_failure then begin
         let src, dst = Digraph.edge_endpoints g e in
-        Union_find.union uf src dst
+        Union_find.Stamped.union uf src dst
       end)
     pattern;
-  Union_find.equiv uf a b
+  Union_find.Stamped.equiv uf a b
 
 let connected_ignoring_opens_into sc pattern ~a ~b =
   Ftcsn_obs.Counter.incr c_connected;

@@ -110,6 +110,41 @@ let release t path = List.iter (Bitset.remove t.busy_set) path
 
 let occupy t path = List.iter (Bitset.add t.busy_set) path
 
+(* Buffer variants of route/release/occupy: the DES call path routes into
+   caller-owned arrays so a steady-state simulation makes no per-call
+   allocations.  The deterministic BFS is delegated to
+   [Traverse.shortest_path_into_buf], which shares its visit discipline
+   with [shortest_path_into] — [route_into] therefore yields exactly the
+   path [route] would have returned as a list. *)
+let route_into t ~input ~output ~buf =
+  if t.rng <> None then
+    invalid_arg "Greedy.route_into: not available on a shuffled router";
+  if busy t input || busy t output then
+    invalid_arg "Greedy.route_into: endpoint already busy";
+  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
+  if not (ok input && ok output) then -1
+  else begin
+    let len =
+      Traverse.shortest_path_into_buf ~allowed:ok ~edge_ok:t.edge_ok
+        t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
+        ~queue:t.queue ~buf
+    in
+    for i = 0 to len - 1 do
+      Bitset.add t.busy_set buf.(i)
+    done;
+    len
+  end
+
+let release_buf t buf ~len =
+  for i = 0 to len - 1 do
+    Bitset.remove t.busy_set buf.(i)
+  done
+
+let occupy_buf t buf ~len =
+  for i = 0 to len - 1 do
+    Bitset.add t.busy_set buf.(i)
+  done
+
 let route_many t requests =
   List.map (fun (i, o) -> (i, o, route t ~input:i ~output:o)) requests
 

@@ -43,6 +43,21 @@ val occupy : t -> int list -> unit
     externally computed layouts (e.g. a backtracking re-lay migrating
     every live call at once). *)
 
+val route_into : t -> input:int -> output:int -> buf:int array -> int
+(** Allocation-free {!route}: the path vertices are written into
+    [buf.(0 .. len-1)] (caller-owned, length at least the vertex count),
+    marked busy, and the length returned; [-1] when blocked (state
+    unchanged).  Deterministic routers only — the path is exactly what
+    {!route} would return.
+    @raise Invalid_argument if an endpoint is busy or the router was
+    created with [~rng]. *)
+
+val release_buf : t -> int array -> len:int -> unit
+(** Un-busy the path in [buf.(0 .. len-1)]. *)
+
+val occupy_buf : t -> int array -> len:int -> unit
+(** Mark the path in [buf.(0 .. len-1)] busy without routing. *)
+
 val route_many : t -> (int * int) list -> (int * int * int list option) list
 (** Route requests in order; each result keeps its request. *)
 

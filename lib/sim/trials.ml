@@ -175,6 +175,40 @@ end
 
 let pool_enabled = ref true
 
+(* ---------- intra-trial pool lease ----------
+
+   [exec] fans whole trials across the pool; the sharded DES wants the
+   opposite grain — one replication briefly borrowing the same workers
+   for a window of per-shard event draining, then giving them back.
+   Tasks must touch disjoint state; the lease only promises that all of
+   them have completed (with their writes published, via the batch
+   mutex) when the call returns.  A task that runs *on* a pool worker
+   can itself lease: [Pool.await] help-drains the queue, so nested use
+   cannot deadlock even on a 1-core host. *)
+let parallel_tasks ?(jobs = 1) tasks =
+  let k = Array.length tasks in
+  if jobs <= 1 || k <= 1 then Array.iter (fun f -> f ()) tasks
+  else begin
+    let fail = Atomic.make None in
+    let guard f () =
+      try f () with e -> Atomic.set fail (Some e)
+    in
+    if !pool_enabled then begin
+      Pool.ensure (min (jobs - 1) (k - 1));
+      let b = Pool.submit (Array.init (k - 1) (fun i -> guard tasks.(i + 1))) in
+      guard tasks.(0) ();
+      Pool.await b
+    end
+    else begin
+      let ds =
+        Array.init (k - 1) (fun i -> Domain.spawn (guard tasks.(i + 1)))
+      in
+      guard tasks.(0) ();
+      Array.iter Domain.join ds
+    end;
+    match Atomic.get fail with Some e -> raise e | None -> ()
+  end
+
 (* The scheduler: trial [i] always runs on [Rng.substream root i], so its
    outcome is a pure function of (root seed, i) and the partition of the
    index space into chunks/domains cannot affect any result.  Chunks are

@@ -98,6 +98,17 @@ val pool_enabled : bool ref
     domains, reproducing the pre-pool engine exactly.  An A/B switch for
     tests and benchmarks — results are bit-identical either way. *)
 
+val parallel_tasks : ?jobs:int -> (unit -> unit) array -> unit
+(** Intra-trial pool lease: run the tasks to completion, borrowing up to
+    [jobs - 1] persistent pool workers alongside the calling domain
+    (sequential, in array order, when [jobs <= 1] or there is only one
+    task).  Tasks must write disjoint state; on return all tasks have
+    completed and their writes are published to the caller.  Nested use
+    from inside a pool task is safe (the wait help-drains the queue).
+    The first exception any task raised is re-raised after all complete.
+    This is how one sharded DES replication uses the same domain pool
+    {e within} itself that {!map_reduce} uses {e across} replications. *)
+
 val run :
   ?jobs:int ->
   ?chunk:int ->

@@ -34,3 +34,35 @@ val representatives : t -> int array
 val compress_labels : t -> int array * int
 (** [compress_labels t] is [(label, k)] where [label.(i)] is a dense id in
     [0, k) shared exactly by equivalent elements. *)
+
+(** Generation-stamped forest with O(1) reset.
+
+    Same union-by-rank/path-compression semantics as the plain structure,
+    but {!Stamped.reset} bumps a generation counter instead of rewriting
+    the arrays: an element with a stale stamp is treated as a fresh
+    singleton and lazily re-initialised by {!Stamped.find}.  This is what
+    lets a million-vertex workspace be "cleared" between uses for free —
+    the epoch-rebuild trick behind {!Ftcsn_reliability.Dyn_conn} and the
+    scratch-path contraction in {!Ftcsn_reliability.Survivor}. *)
+module Stamped : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is [n] singleton classes [0 .. n-1], in generation 1. *)
+
+  val size : t -> int
+
+  val generation : t -> int
+  (** The current generation — pairs with external per-root payload
+      arrays that stamp themselves against it (see
+      {!Ftcsn_reliability.Dyn_conn}'s terminal counts). *)
+
+  val reset : t -> unit
+  (** Restore [n] singleton classes in O(1) by bumping the generation. *)
+
+  val find : t -> int -> int
+
+  val union : t -> int -> int -> unit
+
+  val equiv : t -> int -> int -> bool
+end
