@@ -309,6 +309,22 @@ let engine_samples ?(quick = false) ~jobs_list () =
            ~config:traffic_config benes)
   in
   let traffic_trials = if quick then 4 else 16 in
+  (* wall-clock upper bound on the deterministic router's share of a
+     traffic sweep: total seconds over the number of route searches the
+     run issued (arrivals that reached the router = offered minus
+     system-full losses, plus one reroute attempt per severed call).
+     An upper bound because the numerator also pays for event handling,
+     fault clocks and statistics. *)
+  let router_ns_extra t s =
+    let calls =
+      s.Ftcsn_des.Traffic.t_served
+      + (s.Ftcsn_des.Traffic.t_blocked - s.Ftcsn_des.Traffic.t_blocked_full)
+      + s.Ftcsn_des.Traffic.t_dropped
+    in
+    ( "router_ns_per_call",
+      Ftcsn_obs.Json.Float
+        (if calls = 0 then nan else t.seconds *. 1e9 /. float_of_int calls) )
+  in
   let traffic =
     let t =
       timed ~reps ~bench:"traffic-benes-16" ~jobs:1 ~trials:traffic_trials
@@ -338,6 +354,7 @@ let engine_samples ?(quick = false) ~jobs_list () =
                 Float
                   (t.minor_words_per_trial *. float_of_int t.trials
                   /. float_of_int s.Ftcsn_des.Traffic.t_events) );
+              router_ns_extra t s;
             ];
         }
   in
@@ -354,8 +371,13 @@ let engine_samples ?(quick = false) ~jobs_list () =
   let scale_n = if quick then 1_024 else 32_768 in
   let scale_net = Benes.create scale_n in
   let scale_switches = Network.size scale_net in
+  (* the scale row runs the Benes looping router (the realistic operating
+     point at this size); the reference engine ignores the policy and
+     routes with its plain BFS, so speedup_vs_ref prices exactly the
+     routing change plus the scale-layer machinery *)
   let scale_config ~horizon =
     Ftcsn_des.Traffic.config ~load:50.0 ~mtbf:1000.0 ~mttr:1.0
+      ~policy:Ftcsn_des.Traffic.Route_loop
       ~stop:(Ftcsn_des.Traffic.Horizon horizon) ~shards:8 ()
   in
   let scale_horizon = if quick then 20.0 else 50.0 in
@@ -429,8 +451,130 @@ let engine_samples ?(quick = false) ~jobs_list () =
             Float
               (if events = 0 then nan
                else t.minor_words_per_trial /. float_of_int events) );
+          ("router", String (Ftcsn_des.Traffic.router_name
+                               (scale_config ~horizon:scale_horizon)
+                               scale_net));
+        ]
+        @ (match !scale_last with
+          | None -> []
+          | Some s ->
+              [
+                ( "blocking_mean",
+                  Float s.Ftcsn_des.Traffic.blocking.Ftcsn_des.Batch_means.mean
+                );
+                router_ns_extra t s;
+              ]);
+    }
+  in
+  (* Single-request routing micro-rows on the same million-switch Benes:
+     route one random input->output request through a lightly faulted
+     mask (~0.1% of switches down) and tear it down, repeatedly.  The
+     baseline is the pre-arena masked-CSR BFS — an O(V) parent refill
+     plus a near-full graph scan per call; the stamped row is the same
+     BFS on the epoch-stamped arena (identical paths, no refill); the
+     staged row is the level-bounded bidirectional search; the headline
+     row is the Benes looping router.  trials = routes, so trials/s is
+     routes/s and minor_words_per_trial is words per route. *)
+  let route_g = scale_net.Network.graph in
+  let route_nv = Digraph.vertex_count route_g in
+  let route_m = Digraph.edge_count route_g in
+  let route_bad = Array.make route_m false in
+  let () =
+    let rng = Rng.create ~seed:51 in
+    for _ = 1 to route_m / 1000 do
+      route_bad.(Rng.int rng route_m) <- true
+    done
+  in
+  let route_edge_ok e = not route_bad.(e) in
+  let route_pairs =
+    let rng = Rng.create ~seed:52 in
+    Array.init 256 (fun _ ->
+        ( scale_net.Network.inputs.(Rng.int rng scale_n),
+          scale_net.Network.outputs.(Rng.int rng scale_n) ))
+  in
+  let route_buf = Array.make route_nv 0 in
+  let route_row ~bench ~trials ~engine =
+    let router =
+      Ftcsn_routing.Greedy.create ~edge_ok:route_edge_ok ~engine scale_net
+    in
+    let sweep ~jobs:_ ~trials ~trace:_ =
+      for k = 0 to trials - 1 do
+        let i, o = route_pairs.(k land 255) in
+        let len =
+          Ftcsn_routing.Greedy.route_into router ~input:i ~output:o
+            ~buf:route_buf
+        in
+        if len >= 0 then
+          Ftcsn_routing.Greedy.release_buf router ~len route_buf
+      done
+    in
+    let t = timed ~reps:1 ~bench ~jobs:1 ~trials sweep in
+    let open Ftcsn_obs.Json in
+    {
+      t with
+      extras =
+        [
+          ("switches", Int scale_switches);
+          ("n", Int scale_n);
+          ("routes_per_sec", Float t.rate);
+          ("router", String (Ftcsn_routing.Greedy.engine_name router));
         ];
     }
+  in
+  let route_baseline =
+    (* the frozen pre-arena search, driven directly: same mask, same
+       request stream, its own parent/queue scratch with the historical
+       per-call refill *)
+    let parent = Array.make route_nv (-1) and queue = Array.make route_nv 0 in
+    let sweep ~jobs:_ ~trials ~trace:_ =
+      for k = 0 to trials - 1 do
+        let i, o = route_pairs.(k land 255) in
+        ignore
+          (Ftcsn_graph.Traverse.shortest_path_into_buf ~edge_ok:route_edge_ok
+             route_g ~src:i ~dst:o ~parent ~queue ~buf:route_buf)
+      done
+    in
+    let t =
+      timed ~reps:1 ~bench:"route-benes-1M-baseline" ~jobs:1
+        ~trials:(if quick then 500 else 100)
+        sweep
+    in
+    let open Ftcsn_obs.Json in
+    {
+      t with
+      extras =
+        [
+          ("switches", Int scale_switches);
+          ("n", Int scale_n);
+          ("routes_per_sec", Float t.rate);
+          ("router", String "refbfs");
+        ];
+    }
+  in
+  let with_speedup t =
+    let open Ftcsn_obs.Json in
+    {
+      t with
+      extras = t.extras @ [ ("speedup_vs_ref", Float (t.rate /. route_baseline.rate)) ];
+    }
+  in
+  let route_stamped =
+    with_speedup
+      (route_row ~bench:"route-benes-1M-stamped"
+         ~trials:(if quick then 1_000 else 200)
+         ~engine:`Bfs)
+  in
+  let route_staged =
+    with_speedup
+      (route_row ~bench:"route-benes-1M-staged"
+         ~trials:(if quick then 5_000 else 2_000)
+         ~engine:`Staged)
+  in
+  let route_loop =
+    with_speedup
+      (route_row ~bench:"route-benes-1M"
+         ~trials:(if quick then 20_000 else 100_000)
+         ~engine:`Loop)
   in
   (* Rare-event pair: the cross-entropy-tilted estimator at the paper's
      eps = 1e-6 on benes-16, against a plain-MC sweep at the same eps
@@ -535,8 +679,8 @@ let engine_samples ?(quick = false) ~jobs_list () =
   ( tournament_last,
     per_jobs
     @ [
-        curve; independent; traffic; scale_baseline; scale; mc_price; rare;
-        tournament;
+        curve; independent; traffic; scale_baseline; scale; route_baseline;
+        route_stamped; route_staged; route_loop; mc_price; rare; tournament;
       ] )
 
 let write_json path samples =
@@ -631,13 +775,39 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
         | Some (Ftcsn_obs.Json.Int v) -> v
         | _ -> 0
       in
+      let router =
+        match List.assoc_opt "router" t.extras with
+        | Some (Ftcsn_obs.Json.String s) -> s
+        | _ -> "?"
+      in
       Printf.printf
         "traffic-benes-1M: %d switches, %d events in %.2fs = %.0f events/s \
-         (%.1f minor w/event); %.1fx the pre-scale-layer engine\n"
+         (%.1f minor w/event, router %s at <= %.0f ns/call); %.1fx the \
+         pre-scale-layer engine\n"
         (i "switches") (i "events") t.seconds (f "events_per_sec")
-        (f "minor_words_per_event")
+        (f "minor_words_per_event") router (f "router_ns_per_call")
         (f "speedup_vs_ref")
   | None -> ());
+  (* single-request routing headline: the Benes looping router against
+     the pre-arena masked-CSR BFS on the same million-switch network *)
+  (match
+     ( List.find_opt (fun s -> s.bench = "route-benes-1M") samples,
+       List.find_opt (fun s -> s.bench = "route-benes-1M-staged") samples )
+   with
+  | Some lp, Some st ->
+      let f t key =
+        match List.assoc_opt key t.extras with
+        | Some (Ftcsn_obs.Json.Float v) -> v
+        | _ -> nan
+      in
+      Printf.printf
+        "route-benes-1M: loop router %.0f routes/s (%.0fx the masked-CSR \
+         BFS baseline); staged bidirectional %.0f routes/s (%.1fx)\n"
+        (f lp "routes_per_sec")
+        (f lp "speedup_vs_ref")
+        (f st "routes_per_sec")
+        (f st "speedup_vs_ref")
+  | _ -> ());
   (* rare-event headline: the tilted estimator's precision priced
      against plain MC in the same wall-clock budget *)
   (match List.find_opt (fun s -> s.bench = "rare-benes-16") samples with

@@ -1260,8 +1260,8 @@ let parse_holding s =
   | Ok h -> h
   | Error msg -> die "invalid --holding value %S: %s" s msg
 
-(* greedy | rearrange[:BUDGET] — BUDGET caps the backtracking search per
-   re-lay attempt (default 10000 states) *)
+(* greedy | rearrange[:BUDGET] | staged | loop — BUDGET caps the
+   backtracking search per re-lay attempt (default 10000 states) *)
 let parse_policy s =
   match String.split_on_char ':' s with
   | [ "greedy" ] -> Traffic.Route_greedy
@@ -1271,7 +1271,13 @@ let parse_policy s =
       | Some k when k >= 1 -> Traffic.Route_rearrange k
       | _ ->
           die "invalid --policy value %S: BUDGET %S must be an integer >= 1" s b)
-  | _ -> die "invalid --policy value %S: expected greedy or rearrange[:BUDGET]" s
+  | [ "staged" ] -> Traffic.Route_staged
+  | [ "loop" ] -> Traffic.Route_loop
+  | _ ->
+      die
+        "invalid --policy value %S: expected greedy, rearrange[:BUDGET], \
+         staged or loop"
+        s
 
 let traffic_cmd =
   let run family n seed load holding mtbf mttr warmup calls batches policy
@@ -1319,6 +1325,9 @@ let traffic_cmd =
             this topology"
            shards regions);
     let rng = Seeds.traffic seed in
+    (* which router engaged after fallback resolution (e.g. --policy loop
+       on a non-Benes family reports staged or bfs) *)
+    let router = Traffic.router_name config net in
     let s =
       phase obs "estimate" (fun () ->
           Traffic.estimate ~jobs ?trace:obs.trace ~trials ~rng ~config net)
@@ -1342,6 +1351,7 @@ let traffic_cmd =
                 ("n_requested", Obs_json.Int built.Topology.n_requested);
                 ("n_effective", Obs_json.Int built.Topology.n_effective);
                 ("shards", Obs_json.Int shards);
+                ("router", Obs_json.String router);
                 ("load", Obs_json.Float load);
                 ("holding", Obs_json.String (Format.asprintf "%a" Dist.pp_holding holding));
                 ("replications", Obs_json.Int s.Traffic.replications);
@@ -1379,6 +1389,7 @@ let traffic_cmd =
         (if shards > 1 then
            Printf.sprintf ", shards=%d (shard-jobs=%d)" shards shard_jobs
          else "");
+      Format.printf "router: %s@." router;
       Format.printf
         "blocking: %.5f  (95%% CI [%.5f, %.5f], %d batches, %d measured calls)@."
         b.Batch_means.mean b.Batch_means.ci_low b.Batch_means.ci_high
@@ -1450,9 +1461,14 @@ let traffic_cmd =
     Arg.(value & opt string "greedy"
          & info [ "policy" ] ~docv:"P"
              ~doc:
-               "Routing policy: greedy (strictly-nonblocking operation) or \
+               "Routing policy: greedy (strictly-nonblocking operation), \
                 rearrange[:BUDGET] (re-lay all live calls with backtracking \
-                when the greedy probe blocks; default budget 10000).")
+                when the greedy probe blocks; default budget 10000), staged \
+                (level-bounded bidirectional BFS on staged families) or \
+                loop (Benes block-tree descent with staged fallback).  \
+                staged/loop keep greedy's accept/block decisions but route \
+                each call in O(depth) instead of O(switches); the table and \
+                JSON report which router actually engaged.")
   in
   let shards =
     Arg.(value & opt int 1

@@ -11,7 +11,11 @@ module Counter = Ftcsn_obs.Counter
 
 type stop = Horizon of float | Calls of { warmup : int; measured : int }
 
-type policy = Route_greedy | Route_rearrange of int
+type policy =
+  | Route_greedy
+  | Route_rearrange of int
+  | Route_staged
+  | Route_loop
 
 type config = {
   load : float;
@@ -60,6 +64,16 @@ let config ?(load = 1.0) ?(holding = Dist.Exponential) ?(mtbf = infinity)
         invalid_arg "Traffic.config: a Calls stop needs load > 0");
   { load; holding; mtbf; mttr; stop; batches; policy; saturate;
     stop_on_degradation; shards; shard_jobs }
+
+(* which deterministic search engine the policy asks for; Greedy resolves
+   fallbacks (loop off-Benes -> staged -> bfs) at create time *)
+let engine_of_policy = function
+  | Route_staged -> `Staged
+  | Route_loop -> `Loop
+  | Route_greedy | Route_rearrange _ -> `Bfs
+
+let router_name cfg net =
+  Greedy.engine_name (Greedy.create ~engine:(engine_of_policy cfg.policy) net)
 
 type stats = {
   sim_time : float;
@@ -282,7 +296,9 @@ let init ~rng ~cfg net =
     cfg;
     crng;
     heap = Heap.create ~dummy:0 ();
-    router = Greedy.create ~allowed ~edge_ok net;
+    router =
+      Greedy.create ~allowed ~edge_ok ~engine:(engine_of_policy cfg.policy)
+        net;
     fstate;
     faulty_deg;
     is_terminal;
@@ -558,7 +574,9 @@ let handle_arrival st =
       end
       else
         match st.cfg.policy with
-        | Route_greedy -> (true, false)
+        (* the fast routers only change how a path is found; a request
+           they block is unroutable, so the verdict is greedy's *)
+        | Route_greedy | Route_staged | Route_loop -> (true, false)
         | Route_rearrange budget ->
             (not (try_rearrange st ~budget ~i ~o), false)
     end

@@ -81,6 +81,19 @@ type policy =
           blocks, re-lay {e all} live calls plus the new request with
           {!Ftcsn_routing.Backtrack.route_all} under the given search
           budget, migrating every call on success *)
+  | Route_staged
+      (** greedy operation on {!Ftcsn_routing.Staged_route}'s
+          level-bounded bidirectional BFS — O(depth × frontier) per
+          request on strictly staged families, plain BFS elsewhere.
+          Accept/block decisions (hence blocking estimates) match
+          [Route_greedy]; the chosen equal-length paths may differ, so
+          fault-time sever selection — and with it individual sample
+          paths — is not bit-identical to the greedy run *)
+  | Route_loop
+      (** greedy operation on {!Ftcsn_routing.Loop_route}'s Beneš
+          block-tree descent, falling back to [Route_staged] search
+          off the Beneš family or inside heavily faulted blocks; same
+          accept/block equivalence as [Route_staged] *)
 
 type config = private {
   load : float;  (** offered Erlangs (= arrival rate; holding mean is 1) *)
@@ -130,6 +143,14 @@ val config :
     non-finite horizon, or [shards < 1].  ([shards] against the
     network's region count is checked by {!run}, which knows the
     network.) *)
+
+val router_name : config -> Ftcsn_networks.Network.t -> string
+(** Which deterministic router a {!run} with this config on this network
+    would engage after fallback resolution: ["bfs"], ["staged"] or
+    ["loop"] — e.g. [Route_loop] resolves to ["staged"] on a non-Beneš
+    staged family.  Builds (and discards) a router to ask it, so this
+    costs one engine construction — fine for reporting, not for a hot
+    loop. *)
 
 type stats = {
   sim_time : float;  (** simulated time at the end of the run *)

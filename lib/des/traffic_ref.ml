@@ -301,7 +301,10 @@ let handle_arrival st =
           (false, false)
       | None -> (
           match st.cfg.policy with
-          | Route_greedy -> (true, false)
+          (* the fast-router policies change path choice, not the
+             accept/block verdict, so the reference treats them as
+             greedy (and keeps routing with its own plain BFS) *)
+          | Route_greedy | Route_staged | Route_loop -> (true, false)
           | Route_rearrange budget ->
               (not (try_rearrange st ~budget ~i ~o), false))
     end

@@ -1,0 +1,29 @@
+type t = {
+  parent : int array;
+  stamp : int array;
+  queue : int array;
+  mutable gen : int;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Arena.create: negative size";
+  (* stamps start at 0 and [gen] at 0; the first search bumps [gen] to 1,
+     so every vertex begins unvisited *)
+  {
+    parent = Array.make n 0;
+    stamp = Array.make n 0;
+    queue = Array.make n 0;
+    gen = 0;
+    head = 0;
+    tail = 0;
+  }
+
+let size t = Array.length t.parent
+
+let generation t = t.gen
+
+let next_generation t =
+  t.gen <- t.gen + 1;
+  t.gen

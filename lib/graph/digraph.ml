@@ -176,3 +176,14 @@ let quotient g ~label ~classes ~drop_self_loops =
 let pp_summary ppf g =
   Format.fprintf ppf "digraph: %d vertices, %d edges, max degree %d" g.n g.m
     (max_degree g)
+
+(* Raw CSR access for the allocation-free routers: closure-free loops
+   over the adjacency need the arrays themselves, not an iterator. *)
+module Csr = struct
+  let out_off g = g.out_off
+  let out_dst g = g.out_dst
+  let out_eid g = g.out_eid
+  let in_off g = g.in_off
+  let in_src g = g.in_src
+  let in_eid g = g.in_eid
+end

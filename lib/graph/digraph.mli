@@ -93,3 +93,22 @@ val quotient : t -> label:int array -> classes:int -> drop_self_loops:bool -> t 
     an array mapping old edge ids to new ones ([-1] for dropped loops). *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Raw CSR access}
+
+    The frozen adjacency arrays themselves, for inner loops that cannot
+    afford the per-edge closure of {!iter_out}/{!iter_in} (the
+    allocation-free routers index them directly).  The arrays are shared
+    with the graph — callers must not mutate them.  Layout: the out-edges
+    of vertex [v] occupy slots [out_off.(v) .. out_off.(v+1) - 1] of
+    [out_dst]/[out_eid], in ascending edge-id order (the order
+    {!iter_out} visits); [in_off]/[in_src]/[in_eid] mirror this for
+    in-edges. *)
+module Csr : sig
+  val out_off : t -> int array
+  val out_dst : t -> int array
+  val out_eid : t -> int array
+  val in_off : t -> int array
+  val in_src : t -> int array
+  val in_eid : t -> int array
+end

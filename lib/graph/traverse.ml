@@ -266,3 +266,77 @@ let longest_path_dag ?edge_ok g ~sources =
 let depth g ~inputs ~outputs =
   let dist = longest_path_dag g ~sources:inputs in
   List.fold_left (fun acc o -> max acc dist.(o)) (-1) outputs
+
+(* Arena-based shortest path: the same visit discipline as
+   [shortest_path_into_buf] — FIFO over out-edges in CSR order, same
+   seen/allowed condition — but "seen" is an epoch stamp instead of a
+   refilled parent array, so a call touches only the vertices it visits
+   (no O(V) [Array.fill]), and the loop state lives in the arena's
+   mutable int fields, so a call allocates zero minor words.  Because the
+   parent assignments mirror [shortest_path_into_buf] exactly (a vertex
+   is stamped iff the into-variant would have set its parent), the
+   extracted path is identical — the routers built on this are
+   bit-compatible with the fill-based ones. *)
+let shortest_path_arena_buf ~allowed ~edge_ok g ~(arena : Arena.t) ~src ~dst
+    ~buf =
+  let n = Digraph.vertex_count g in
+  if Arena.size arena < n || Array.length buf < n then
+    invalid_arg "Traverse.shortest_path_arena_buf: scratch too small";
+  if src = dst then begin
+    buf.(0) <- src;
+    1
+  end
+  else begin
+    let a = arena in
+    let gen = Arena.next_generation a in
+    let stamp = a.Arena.stamp
+    and parent = a.Arena.parent
+    and queue = a.Arena.queue in
+    let out_off = Digraph.Csr.out_off g
+    and out_dst = Digraph.Csr.out_dst g
+    and out_eid = Digraph.Csr.out_eid g in
+    stamp.(src) <- gen;
+    queue.(0) <- src;
+    a.Arena.head <- 0;
+    a.Arena.tail <- 1;
+    (* like the into-variant, the scan of the current vertex's out-edges
+       completes even once [dst] is found (the extra parent assignments
+       are identical there and here); the outer loop then stops *)
+    while stamp.(dst) <> gen && a.Arena.head < a.Arena.tail do
+      let u = queue.(a.Arena.head) in
+      a.Arena.head <- a.Arena.head + 1;
+      for i = out_off.(u) to out_off.(u + 1) - 1 do
+        let v = out_dst.(i) in
+        if edge_ok out_eid.(i) && stamp.(v) <> gen && (v = dst || allowed v)
+        then begin
+          stamp.(v) <- gen;
+          parent.(v) <- u;
+          if v <> dst then begin
+            queue.(a.Arena.tail) <- v;
+            a.Arena.tail <- a.Arena.tail + 1
+          end
+        end
+      done
+    done;
+    if stamp.(dst) <> gen then -1
+    else begin
+      (* walk the parent chain twice — once to count, once to fill [buf]
+         front-to-back — reusing the FIFO cursors as walk state so the
+         extraction allocates nothing either *)
+      a.Arena.tail <- 0;
+      a.Arena.head <- dst;
+      while a.Arena.head <> src do
+        a.Arena.tail <- a.Arena.tail + 1;
+        a.Arena.head <- parent.(a.Arena.head)
+      done;
+      let len = a.Arena.tail + 1 in
+      a.Arena.head <- dst;
+      a.Arena.tail <- len - 1;
+      while a.Arena.tail >= 0 do
+        buf.(a.Arena.tail) <- a.Arena.head;
+        if a.Arena.tail > 0 then a.Arena.head <- parent.(a.Arena.head);
+        a.Arena.tail <- a.Arena.tail - 1
+      done;
+      len
+    end
+  end

@@ -115,3 +115,20 @@ val depth : Digraph.t -> inputs:int list -> outputs:int list -> int
 (** The network-depth measure of the paper (§2): the largest number of
     edges on any directed input→output path.  Requires acyclicity.
     Returns [-1] when no output is reachable. *)
+
+val shortest_path_arena_buf :
+  allowed:(int -> bool) ->
+  edge_ok:(int -> bool) ->
+  Digraph.t ->
+  arena:Arena.t ->
+  src:int ->
+  dst:int ->
+  buf:int array ->
+  int
+(** {!shortest_path_into_buf} on an epoch-stamped {!Arena}: same FIFO
+    discipline and hence the same path, but starting a search is a
+    generation bump instead of an O(vertex-count) parent refill, and the
+    call allocates zero minor words ([allowed]/[edge_ok] are required
+    rather than optional precisely so the call site builds no [Some]
+    wrappers).  The path is written into [buf.(0 .. len-1)] and its
+    length returned, or [-1] when no path exists. *)

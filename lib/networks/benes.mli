@@ -12,10 +12,31 @@
     bipartite graph K₂,₂ on wire vertices, so each switch contributes four
     graph edges (switch crosspoints). *)
 
+(** The recursive block structure, exposed for structure-aware routers
+    (the looping router steers a single request down this tree instead of
+    searching the flat graph).  [ins]/[outs] are vertex ids; at a [Split],
+    entry switch [i] joins [ins.(2i)], [ins.(2i+1)] to [top_in.(i)],
+    [bot_in.(i)] (complete bipartite), and symmetrically for the output
+    column. *)
+type node =
+  | Switch of { ins : int array; outs : int array }
+  | Split of {
+      ins : int array;
+      outs : int array;
+      top_in : int array;
+      bot_in : int array;
+      top_out : int array;
+      bot_out : int array;
+      top : node;
+      bot : node;
+    }
+
 type t
 
 val make : int -> t
 (** [make n] for n ≥ 2 a power of two.  @raise Invalid_argument otherwise. *)
+
+val root : t -> node
 
 val network : t -> Network.t
 

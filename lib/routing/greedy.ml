@@ -1,8 +1,22 @@
 module Network = Ftcsn_networks.Network
 module Digraph = Ftcsn_graph.Digraph
+module Arena = Ftcsn_graph.Arena
 module Traverse = Ftcsn_graph.Traverse
 module Bitset = Ftcsn_util.Bitset
 module Rng = Ftcsn_prng.Rng
+module Metrics = Ftcsn_obs.Metrics
+module Counter = Ftcsn_obs.Counter
+
+(* searches issued by every router in the process; lets the alloc test
+   prove the hot path ran without adding state to [t] *)
+let c_search = Metrics.counter Metrics.default "greedy.search"
+
+type engine = [ `Bfs | `Staged | `Loop ]
+
+type fast =
+  | No_fast
+  | Fast_staged of Staged_route.t
+  | Fast_loop of Loop_route.t
 
 type t = {
   net : Network.t;
@@ -10,46 +24,99 @@ type t = {
   edge_ok : int -> bool;
   rng : Rng.t option;
   busy_set : Bitset.t;
-  (* BFS scratch, so repeated routing calls don't allocate *)
-  parent : int array;
-  queue : int array;
+  (* epoch-stamped BFS scratch: starting a search is a generation bump,
+     not an O(V) refill *)
+  arena : Arena.t;
+  (* [route]'s list result is built from this internal buffer *)
+  path_buf : int array;
+  (* prebuilt idle-vertex predicate; per-call [let ok v = ...] closures
+     would allocate on every route *)
+  ok : int -> bool;
+  fast : fast;
 }
 
-let create ?(allowed = fun _ -> true) ?(edge_ok = fun _ -> true) ?rng net =
+let create ?(allowed = fun _ -> true) ?(edge_ok = fun _ -> true) ?rng
+    ?(engine = `Bfs) net =
   let n = Digraph.vertex_count net.Network.graph in
+  let busy_set = Bitset.create n in
+  let ok v = allowed v && not (Bitset.mem busy_set v) in
+  let fast =
+    match engine with
+    | `Bfs -> No_fast
+    | `Staged -> (
+        match Staged_route.create net with
+        | Some s -> Fast_staged s
+        | None -> No_fast)
+    | `Loop -> (
+        match Loop_route.create net with
+        | Some l -> Fast_loop l
+        | None -> (
+            match Staged_route.create net with
+            | Some s -> Fast_staged s
+            | None -> No_fast))
+  in
   {
     net;
     allowed;
     edge_ok;
     rng;
-    busy_set = Bitset.create n;
-    parent = Array.make n (-1);
-    queue = Array.make n 0;
+    busy_set;
+    arena = Arena.create n;
+    path_buf = Array.make n 0;
+    ok;
+    fast;
   }
 
 let network t = t.net
 
+let engine_name t =
+  match t.fast with
+  | No_fast -> "bfs"
+  | Fast_staged _ -> "staged"
+  | Fast_loop _ -> "loop"
+
 let busy t v = Bitset.mem t.busy_set v
+
+(* the deterministic search behind [route]/[route_into]: plain CSR-order
+   BFS on the arena (path-identical to [Traverse.shortest_path_into]), or
+   the structure-aware engine when one engaged at [create] *)
+let search t ~src ~dst ~buf =
+  Counter.incr c_search;
+  match t.fast with
+  | No_fast ->
+      Traverse.shortest_path_arena_buf ~allowed:t.ok ~edge_ok:t.edge_ok
+        t.net.Network.graph ~arena:t.arena ~src ~dst ~buf
+  | Fast_staged s ->
+      Staged_route.route_into s ~allowed:t.ok ~edge_ok:t.edge_ok ~src ~dst
+        ~buf
+  | Fast_loop l ->
+      Loop_route.route_into l ~allowed:t.ok ~edge_ok:t.edge_ok ~src ~dst ~buf
 
 (* BFS with shuffled expansion order: each dequeued vertex's edge_ok
    out-neighbours are collected in CSR order and shuffled, so the parent
    choice among equal-distance vertices — and hence the returned path —
    is sampled uniformly among the tie-breaks.  Visit discipline otherwise
-   matches [Traverse.shortest_path_into] exactly. *)
+   matches [Traverse.shortest_path_into] exactly (here in the stamp
+   encoding: "seen" was [v = src || parent.(v) >= 0], now it is
+   [stamp.(v) = gen] with the source pre-stamped). *)
 let route_shuffled t rng ~src ~dst =
   let g = t.net.Network.graph in
-  let n = Digraph.vertex_count g in
-  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
   if src = dst then Some [ src ]
   else begin
-    Array.fill t.parent 0 n (-1);
-    let head = ref 0 and tail = ref 0 in
-    t.queue.(!tail) <- src;
-    incr tail;
+    Counter.incr c_search;
+    let a = t.arena in
+    let gen = Arena.next_generation a in
+    let stamp = a.Arena.stamp
+    and parent = a.Arena.parent
+    and queue = a.Arena.queue in
+    stamp.(src) <- gen;
+    queue.(0) <- src;
+    a.Arena.head <- 0;
+    a.Arena.tail <- 1;
     let found = ref false in
-    while (not !found) && !head < !tail do
-      let u = t.queue.(!head) in
-      incr head;
+    while (not !found) && a.Arena.head < a.Arena.tail do
+      let u = queue.(a.Arena.head) in
+      a.Arena.head <- a.Arena.head + 1;
       let nbrs = Array.make (Digraph.out_degree g u) (-1) in
       let k = ref 0 in
       Digraph.iter_out g u (fun ~dst:v ~eid ->
@@ -63,16 +130,13 @@ let route_shuffled t rng ~src ~dst =
       Rng.shuffle_in_place rng nbrs;
       Array.iter
         (fun v ->
-          if
-            (not !found)
-            && (not (v = src || t.parent.(v) >= 0))
-            && (v = dst || ok v)
-          then begin
-            t.parent.(v) <- u;
+          if (not !found) && stamp.(v) <> gen && (v = dst || t.ok v) then begin
+            stamp.(v) <- gen;
+            parent.(v) <- u;
             if v = dst then found := true
             else begin
-              t.queue.(!tail) <- v;
-              incr tail
+              queue.(a.Arena.tail) <- v;
+              a.Arena.tail <- a.Arena.tail + 1
             end
           end)
         nbrs
@@ -80,7 +144,7 @@ let route_shuffled t rng ~src ~dst =
     if not !found then None
     else begin
       let rec walk v acc =
-        if v = src then v :: acc else walk t.parent.(v) (v :: acc)
+        if v = src then v :: acc else walk parent.(v) (v :: acc)
       in
       Some (walk dst [])
     end
@@ -89,15 +153,19 @@ let route_shuffled t rng ~src ~dst =
 let route t ~input ~output =
   if busy t input || busy t output then
     invalid_arg "Greedy.route: endpoint already busy";
-  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
-  if not (ok input && ok output) then None
+  if not (t.ok input && t.ok output) then None
   else begin
     let path =
       match t.rng with
       | None ->
-          Traverse.shortest_path_into ~allowed:ok ~edge_ok:t.edge_ok
-            t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
-            ~queue:t.queue
+          let len = search t ~src:input ~dst:output ~buf:t.path_buf in
+          if len < 0 then None
+          else begin
+            let rec take i acc =
+              if i < 0 then acc else take (i - 1) (t.path_buf.(i) :: acc)
+            in
+            Some (take (len - 1) [])
+          end
       | Some rng -> route_shuffled t rng ~src:input ~dst:output
     in
     (match path with
@@ -112,23 +180,19 @@ let occupy t path = List.iter (Bitset.add t.busy_set) path
 
 (* Buffer variants of route/release/occupy: the DES call path routes into
    caller-owned arrays so a steady-state simulation makes no per-call
-   allocations.  The deterministic BFS is delegated to
-   [Traverse.shortest_path_into_buf], which shares its visit discipline
-   with [shortest_path_into] — [route_into] therefore yields exactly the
-   path [route] would have returned as a list. *)
+   allocations — the test suite asserts a zero [Gc.minor_words] delta
+   over a routing loop.  The default deterministic BFS shares its visit
+   discipline with [Traverse.shortest_path_into], so [route_into] yields
+   exactly the path [route] would have returned as a list. *)
 let route_into t ~input ~output ~buf =
-  if t.rng <> None then
-    invalid_arg "Greedy.route_into: not available on a shuffled router";
+  (match t.rng with
+  | Some _ -> invalid_arg "Greedy.route_into: not available on a shuffled router"
+  | None -> ());
   if busy t input || busy t output then
     invalid_arg "Greedy.route_into: endpoint already busy";
-  let ok v = t.allowed v && not (Bitset.mem t.busy_set v) in
-  if not (ok input && ok output) then -1
+  if not (t.ok input && t.ok output) then -1
   else begin
-    let len =
-      Traverse.shortest_path_into_buf ~allowed:ok ~edge_ok:t.edge_ok
-        t.net.Network.graph ~src:input ~dst:output ~parent:t.parent
-        ~queue:t.queue ~buf
-    in
+    let len = search t ~src:input ~dst:output ~buf in
     for i = 0 to len - 1 do
       Bitset.add t.busy_set buf.(i)
     done;

@@ -8,10 +8,28 @@
 
 type t
 
+type engine = [ `Bfs | `Staged | `Loop ]
+(** The deterministic search behind {!route}/{!route_into}:
+    - [`Bfs] (default) — CSR-order BFS on an epoch-stamped
+      {!Ftcsn_graph.Arena}; works on any graph and returns exactly the
+      paths the historical implementation did (the DES's bit-identity
+      anchor).
+    - [`Staged] — {!Staged_route}'s level-bounded bidirectional BFS,
+      O(depth × frontier) on strictly staged families; falls back to
+      [`Bfs] when the network is not strictly staged.
+    - [`Loop] — {!Loop_route}'s Beneš block-tree descent, O(depth) on the
+      fault-free fast path; falls back to [`Staged] (then [`Bfs]) off the
+      Beneš family.
+
+    All three agree exactly on accept vs. blocked; the fast engines may
+    pick a {e different equal-length path} among ties, which is why they
+    are opt-in. *)
+
 val create :
   ?allowed:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
   ?rng:Ftcsn_prng.Rng.t ->
+  ?engine:engine ->
   Ftcsn_networks.Network.t ->
   t
 (** Fresh routing state; [allowed] excludes vertices globally (e.g. the
@@ -19,13 +37,18 @@ val create :
     so routing a surviving network needs no subgraph rebuild.  With [rng],
     the BFS shuffles each vertex's expansion order so every {!route} call
     samples uniformly among the tie-breaks (near-shortest paths) — the
-    adversary-ish path choice of the stress tests; without it, paths are
-    the deterministic CSR-order shortest ones.  The router's BFS runs on
-    internal scratch arrays: after creation, routing allocates only the
-    returned paths (plus the per-expansion shuffle buffers when [rng] is
-    set). *)
+    adversary-ish path choice of the stress tests; without it, paths come
+    from the deterministic [engine].  The router's searches run on
+    internal epoch-stamped scratch: after creation, {!route_into}
+    allocates nothing at all, and {!route} allocates only the returned
+    path (plus the per-expansion shuffle buffers when [rng] is set). *)
 
 val network : t -> Ftcsn_networks.Network.t
+
+val engine_name : t -> string
+(** Which engine actually engaged after fallback resolution: ["bfs"],
+    ["staged"] or ["loop"] — surfaced by [ftnet traffic] as its
+    [router] field. *)
 
 val busy : t -> int -> bool
 

@@ -125,6 +125,39 @@ let test_traffic_effective_n () =
   (* benes rounds the requested 10 terminals up to the next power of two *)
   check_contains "traffic effective n" out "effective n: 16 (requested 10)"
 
+let test_traffic_router_report () =
+  (* the table and the JSON must both say which router engaged, and the
+     fast-policy runs must agree with the default engine's blocking *)
+  let code, out =
+    run
+      "traffic --net benes:16 --load 1 --warmup 50 --calls 200 --trials 1 \
+       --seed 3"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic default router" out "router: bfs";
+  let code, out =
+    run
+      "traffic --net benes:16 --load 1 --warmup 50 --calls 200 --trials 1 \
+       --policy loop --seed 3"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic loop router" out "router: loop";
+  let code, out =
+    run
+      "traffic --net benes:16 --load 1 --warmup 50 --calls 200 --trials 1 \
+       --policy staged --seed 3 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic staged router json" out "\"router\":\"staged\"";
+  (* --policy loop off the Benes family degrades gracefully and says so *)
+  let code, out =
+    run
+      "traffic --net crossbar:4 --load 1 --warmup 50 --calls 200 --trials 1 \
+       --policy loop --seed 3"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "traffic loop fallback" out "router: staged"
+
 let test_traffic_sharded () =
   let code, out =
     run
@@ -654,7 +687,10 @@ let test_error_traffic_policy () =
   check_usage_error "traffic policy" "traffic --family benes -n 8 --policy bogus"
     "invalid --policy value";
   check_usage_error "traffic policy budget"
-    "traffic --family benes -n 8 --policy rearrange:0" "must be an integer >= 1"
+    "traffic --family benes -n 8 --policy rearrange:0" "must be an integer >= 1";
+  check_usage_error "traffic policy list"
+    "traffic --family benes -n 8 --policy bogus"
+    "expected greedy, rearrange[:BUDGET], staged or loop"
 
 let test_error_traffic_mtbf () =
   check_usage_error "traffic mtbf" "traffic --family benes -n 8 --mtbf 0"
@@ -718,6 +754,8 @@ let () =
           Alcotest.test_case "traffic effective n" `Quick
             test_traffic_effective_n;
           Alcotest.test_case "traffic sharded" `Quick test_traffic_sharded;
+          Alcotest.test_case "traffic router report" `Quick
+            test_traffic_router_report;
           Alcotest.test_case "traffic json effective n" `Quick
             test_traffic_json_effective_n;
           Alcotest.test_case "traffic pareto + rearrange" `Quick
