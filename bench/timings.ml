@@ -358,6 +358,68 @@ let engine_samples ?(quick = false) ~jobs_list () =
             ];
         }
   in
+  (* Live daemon (lib/serve): the full decision path a request pays in
+     `ftnet serve --replay` — line-JSON parse, admission, one routing
+     decision, response serialization — with failure/repair churn on.
+     trials = call decisions, so trials/s is the daemon's decisions/s;
+     the engine's own latency histogram supplies the per-decision p99. *)
+  let serve_lines =
+    let calls = if quick then 10_000 else 60_000 in
+    Array.init calls (fun i ->
+        if i mod 6 = 5 then
+          Printf.sprintf {|{"req":"hangup","id":"c%d"}|} (i - 2)
+        else
+          Printf.sprintf {|{"req":"call","id":"c%d","at":%d.%02d}|} i (i / 20)
+            (5 * (i mod 20)))
+  in
+  let serve_last = ref None in
+  let serve_sweep ~jobs:_ ~trials ~trace:_ =
+    let rng = Rng.create ~seed:49 in
+    let eng =
+      Ftcsn_serve.Engine.create ~engine:`Loop ~mtbf:50.0 ~mttr:2.0
+        ~emit:(fun r -> ignore (Ftcsn_serve.Proto.response_to_string r))
+        ~rng benes
+    in
+    let n_lines = Array.length serve_lines in
+    let k = ref 0 in
+    while Ftcsn_serve.Engine.decisions eng < trials do
+      (match Ftcsn_serve.Proto.parse_request serve_lines.(!k mod n_lines) with
+      | Ok req -> Ftcsn_serve.Engine.handle eng req
+      | Error _ -> ());
+      incr k
+    done;
+    serve_last := Some eng
+  in
+  let serve =
+    let t =
+      timed ~reps ~bench:"serve-benes-16" ~jobs:1
+        ~trials:(if quick then 8_000 else 50_000)
+        serve_sweep
+    in
+    match !serve_last with
+    | None -> t
+    | Some eng ->
+        let open Ftcsn_obs.Json in
+        let p99 =
+          match
+            Option.bind
+              (member "decision_latency_ns"
+                 (Ftcsn_serve.Engine.metrics_json eng))
+              (member "p99")
+          with
+          | Some (Int v) -> v
+          | _ -> 0
+        in
+        {
+          t with
+          extras =
+            [
+              ("decisions_per_sec", Float t.rate);
+              ("p99_decision_ns", Int p99);
+              ("live_calls", Int (Ftcsn_serve.Engine.live_calls eng));
+            ];
+        }
+  in
   (* Million-switch scale pair (the scale-layer headline): the sharded
      engine with incremental Dyn_conn catastrophe checks on the largest
      Benes that fits the run budget, raced against {!Traffic_ref} — the
@@ -679,8 +741,9 @@ let engine_samples ?(quick = false) ~jobs_list () =
   ( tournament_last,
     per_jobs
     @ [
-        curve; independent; traffic; scale_baseline; scale; route_baseline;
-        route_stamped; route_staged; route_loop; mc_price; rare; tournament;
+        curve; independent; traffic; serve; scale_baseline; scale;
+        route_baseline; route_stamped; route_staged; route_loop; mc_price;
+        rare; tournament;
       ] )
 
 let write_json path samples =
@@ -759,6 +822,19 @@ let run_engine ?(quick = false) ?(json_path = "BENCH_timings.json") () =
          width %.4f) over %d replications\n"
         (f "events_per_sec") (f "calls_per_sec") (f "blocking_mean")
         (f "blocking_ci_width") t.trials
+  | None -> ());
+  (* live-daemon headline: full parse->admit->route->serialize decisions/s *)
+  (match List.find_opt (fun s -> s.bench = "serve-benes-16") samples with
+  | Some t ->
+      let p99 =
+        match List.assoc_opt "p99_decision_ns" t.extras with
+        | Some (Ftcsn_obs.Json.Int v) -> v
+        | _ -> 0
+      in
+      Printf.printf
+        "serve-benes-16: %.0f decisions/s end to end (p99 decision latency \
+         %d ns)\n"
+        t.rate p99
   | None -> ());
   (* scale-layer headline: the sharded incremental engine's event rate
      on the million-switch network against the frozen pre-scale-layer

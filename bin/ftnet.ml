@@ -13,6 +13,8 @@
      rare       rare-event failure estimation (tilted IS / multilevel
                 splitting) for the paper's eps = 1e-6 regime
      traffic    continuous-time call traffic: steady-state blocking with CIs
+     serve      live switch-controller daemon: line-JSON requests in,
+                accept/block/rerouted decisions out, failure churn between
      tournament race every registered family through the survival sweep and
                 the traffic engine; Pareto table on edges-per-terminal
      degrade    age the network under live traffic and report degradation
@@ -45,6 +47,9 @@ module Trials = Ftcsn_sim.Trials
 module Traffic = Ftcsn_des.Traffic
 module Shard = Ftcsn_des.Shard
 module Dist = Ftcsn_des.Dist
+module Serve_engine = Ftcsn_serve.Engine
+module Serve_loop = Ftcsn_serve.Loop
+module Admission = Ftcsn_serve.Admission
 module Batch_means = Ftcsn_des.Batch_means
 module Obs_json = Ftcsn_obs.Json
 module Obs_metrics = Ftcsn_obs.Metrics
@@ -164,9 +169,28 @@ let progress_printer () =
         p.Trials.jobs
     end
 
+(* Graceful shutdown: SIGINT/SIGTERM unwind as an exception so every
+   Fun.protect ~finally on the way out runs — in particular with_obs
+   closes the --trace sink on a whole-line boundary and still writes
+   the --metrics report.  Long-running reactors (serve) swap in their
+   own flag-setting handlers so they can also print a final summary. *)
+exception Interrupted of int (* the signal number *)
+
+let signal_exit_code signo = if signo = Sys.sigterm then 143 else 130
+
+let install_raising_handlers () =
+  let arm s =
+    (* keep the default behaviour on platforms without handlers *)
+    try Sys.set_signal s (Sys.Signal_handle (fun _ -> raise (Interrupted s)))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigint;
+  arm Sys.sigterm
+
 (* Sinks are opened before any work runs, so an unwritable path fails
    fast (exit 2) instead of after a long sweep.  The metrics report is
-   written when the subcommand body returns (also on exceptions). *)
+   written when the subcommand body returns (also on exceptions,
+   including the SIGINT/SIGTERM unwind). *)
 let with_obs (metrics_path, trace_path, progress) f =
   let open_out_checked flag path =
     try open_out path
@@ -181,18 +205,25 @@ let with_obs (metrics_path, trace_path, progress) f =
       progress = (if progress then Some (progress_printer ()) else None);
     }
   in
-  Fun.protect
-    ~finally:(fun () ->
-      Option.iter Trace.close obs.trace;
-      Option.iter close_out trace_oc;
-      match metrics_oc with
-      | None -> ()
-      | Some oc ->
-          output_string oc
-            (Obs_json.to_string (Obs_metrics.to_json obs.registry));
-          output_char oc '\n';
-          close_out oc)
-    (fun () -> f obs)
+  install_raising_handlers ();
+  match
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Trace.close obs.trace;
+        Option.iter close_out trace_oc;
+        match metrics_oc with
+        | None -> ()
+        | Some oc ->
+            output_string oc
+              (Obs_json.to_string (Obs_metrics.to_json obs.registry));
+            output_char oc '\n';
+            close_out oc)
+      (fun () -> f obs)
+  with
+  | v -> v
+  | exception Interrupted signo ->
+      Printf.eprintf "ftnet: interrupted (signal %d); sinks flushed\n%!" signo;
+      exit (signal_exit_code signo)
 
 (* time a coarse phase: a span in the trace and a phase.* timer in the
    metrics report *)
@@ -249,11 +280,13 @@ module Seeds = struct
 
   let rare seed = Rng.create ~seed:(seed + 8)
 
+  let serve seed = Rng.create ~seed:(seed + 9)
+
   (* curve shares survive's stream: a curve point at ε then reproduces
      `survive --eps ε` with the same --seed bit-for-bit *)
   let curve seed = Rng.create ~seed:(seed + 4)
 
-  let build seed = Rng.create ~seed:(seed + 9) (* diameter sampling *)
+  let build seed = Rng.create ~seed:(seed + 10) (* diameter sampling *)
 end
 
 (* ---------- shared argument parsing ---------- *)
@@ -1502,6 +1535,319 @@ let traffic_cmd =
       $ mttr $ warmup $ calls $ batches $ policy $ shards $ trials
       $ jobs_arg $ json $ obs_args)
 
+(* ---------- serve ---------- *)
+
+(* The daemon exits through with_obs's finally (sinks flushed) and only
+   then converts the stop reason into a process exit code, so `exit`
+   never bypasses the cleanup. *)
+let serve_cmd =
+  let run family n seed policy holding mtbf mttr max_load queue replay calls
+      socket shards speed jobs obsargs =
+    let shards = check_pos "--shards" shards in
+    let _jobs = check_jobs jobs in
+    if calls < 0 then
+      die "invalid --calls value %d: must be >= 0 (0 = unbounded)" calls;
+    (match mtbf with
+    | Some x when not (x > 0.0) ->
+        die "invalid --mtbf value %g: must be > 0 (omit the flag for no \
+             failures)" x
+    | _ -> ());
+    if not (mttr > 0.0) then
+      die "invalid --mttr value %g: must be > 0" mttr;
+    if not (speed > 0.0 && Float.is_finite speed) then
+      die "invalid --speed value %g: must be a finite factor > 0" speed;
+    (match max_load with
+    | Some l when not (l > 0.0 && l <= 1.0) ->
+        die "invalid --max-load value %g: must be an occupancy in (0, 1]" l
+    | _ -> ());
+    let queue = check_pos "--queue" queue in
+    let holding = parse_holding holding in
+    let engine_kind =
+      match parse_policy policy with
+      | Traffic.Route_greedy -> `Bfs
+      | Traffic.Route_staged -> `Staged
+      | Traffic.Route_loop -> `Loop
+      | Traffic.Route_rearrange _ ->
+          die
+            "invalid --policy value %S: serve routes one request at a time \
+             (greedy, staged or loop)"
+            policy
+    in
+    (match (replay, socket) with
+    | Some _, Some _ -> die "--replay and --socket cannot both be given"
+    | _ -> ());
+    let max_calls = if calls = 0 then max_int else calls in
+    let code =
+      with_obs obsargs @@ fun obs ->
+      let built =
+        phase obs "build-network" (fun () -> build_network family ~n ~seed)
+      in
+      let net = built.Topology.net in
+      (if shards > 1 then
+         let regions = Shard.regions net in
+         if shards > regions then
+           die
+             "invalid --shards value %d: exceeds the %d shardable regions \
+              of this topology"
+             shards regions);
+      let rng = Seeds.serve seed in
+      (* responses go to the current sink: stdout, or the connected
+         client in --socket mode *)
+      let sink = ref stdout in
+      let emit r =
+        output_string !sink (Ftcsn_serve.Proto.response_to_string r);
+        output_char !sink '\n'
+      in
+      let engine =
+        try
+          Serve_engine.create ~engine:engine_kind ~holding
+            ~mtbf:(Option.value mtbf ~default:infinity)
+            ~mttr ~shards ?trace:obs.trace ~emit ~rng net
+        with Invalid_argument msg -> die "%s" msg
+      in
+      let admission =
+        Admission.combine
+          ((match max_load with
+           | Some l -> [ Admission.max_load l ]
+           | None -> [])
+          @ [ Admission.queue_limit queue ])
+      in
+      (* replace the raising handlers: the reactor polls this flag, so
+         it can drain, print the summary and still flush sinks *)
+      let stop_sig = ref 0 in
+      let arm s =
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_sig := s))
+        with Invalid_argument _ | Sys_error _ -> ()
+      in
+      arm Sys.sigint;
+      arm Sys.sigterm;
+      let stop () = !stop_sig <> 0 in
+      Printf.eprintf
+        "serve: %s, engine %s, admission %s, %s%s\n%!"
+        net.Network.name
+        (Serve_engine.engine_label engine)
+        (Admission.name admission)
+        (match replay with
+        | Some f -> Printf.sprintf "replay from %s" f
+        | None -> (
+            match socket with
+            | Some p -> Printf.sprintf "listening on %s" p
+            | None -> "live on stdin"))
+        (match mtbf with
+        | Some t -> Printf.sprintf ", failures on (mtbf %g, mttr %g)" t mttr
+        | None -> ", failures off");
+      let reason =
+        match replay with
+        | Some file ->
+            let ic =
+              if file = "-" then stdin
+              else
+                try open_in file
+                with Sys_error msg ->
+                  die "cannot open --replay file %S: %s" file msg
+            in
+            Fun.protect
+              ~finally:(fun () -> if file <> "-" then close_in_noerr ic)
+              (fun () ->
+                Serve_loop.replay ~engine ~admission ~emit ~max_calls ~stop
+                  ic)
+        | None -> (
+            match socket with
+            | None ->
+                Serve_loop.live ~engine ~admission ~emit ~max_calls ~stop
+                  ~speed
+                  ~flush:(fun () -> flush stdout)
+                  Unix.stdin
+            | Some path ->
+                (* refuse to clobber anything that is not a stale socket *)
+                (match Unix.stat path with
+                | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+                | _ -> die "--socket path %S exists and is not a socket" path
+                | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+                let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                Unix.bind srv (Unix.ADDR_UNIX path);
+                Unix.listen srv 8;
+                let reason = ref Serve_loop.Eof in
+                let finished = ref false in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Unix.close srv;
+                    try Unix.unlink path with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    while not !finished do
+                      if stop () then begin
+                        reason := Serve_loop.Interrupted;
+                        finished := true
+                      end
+                      else
+                        let readable, _, _ =
+                          try Unix.select [ srv ] [] [] 0.2
+                          with Unix.Unix_error (Unix.EINTR, _, _) ->
+                            ([], [], [])
+                        in
+                        if readable <> [] then begin
+                          let client, _ = Unix.accept srv in
+                          let oc = Unix.out_channel_of_descr client in
+                          sink := oc;
+                          let r =
+                            Serve_loop.live ~engine ~admission ~emit
+                              ~max_calls ~stop ~speed
+                              ~flush:(fun () -> flush oc)
+                              client
+                          in
+                          sink := stdout;
+                          (try flush oc with Sys_error _ -> ());
+                          (try Unix.close client
+                           with Unix.Unix_error _ -> ());
+                          match r with
+                          | Serve_loop.Eof -> () (* next client *)
+                          | r ->
+                              reason := r;
+                              finished := true
+                        end
+                    done;
+                    !reason))
+      in
+      flush stdout;
+      Obs_metrics.set_gauge obs.registry "serve.decisions"
+        (float_of_int (Serve_engine.decisions engine));
+      Obs_metrics.set_gauge obs.registry "serve.sim_time"
+        (Serve_engine.now engine);
+      (* the final summary goes to stderr: stdout carries only the
+         response stream *)
+      Printf.eprintf "%s%s\n%!"
+        (Serve_engine.summary engine)
+        (match reason with
+        | Serve_loop.Eof -> ""
+        | Serve_loop.Limit -> " [stopped: --calls bound]"
+        | Serve_loop.Interrupted -> " [stopped: signal]");
+      match reason with
+      | Serve_loop.Interrupted -> signal_exit_code !stop_sig
+      | _ -> 0
+    in
+    if code <> 0 then exit code
+  in
+  let policy =
+    Arg.(
+      value & opt string "greedy"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Routing engine for live decisions: greedy (CSR-order BFS), \
+             staged (level-bounded bidirectional BFS) or loop (Benes \
+             block-tree descent).  All three agree on accept vs block; \
+             rearrange is not available because the daemon decides one \
+             request at a time.")
+  in
+  let holding =
+    Arg.(
+      value & opt string "exp"
+      & info [ "holding" ] ~docv:"DIST"
+          ~doc:
+            "Holding-time distribution for calls that do not carry an \
+             explicit \"hold\" field: exp or pareto:ALPHA (unit mean).")
+  in
+  let mtbf =
+    Arg.(
+      value & opt (some float) None
+      & info [ "mtbf" ] ~docv:"T"
+          ~doc:
+            "Per-switch mean time between failures in virtual time \
+             (exponential clock, open/closed with equal probability).  \
+             Omit for a fault-free fabric.")
+  in
+  let mttr =
+    Arg.(
+      value & opt float 10.0
+      & info [ "mttr" ] ~docv:"T"
+          ~doc:"Per-switch mean time to repair (exponential clock).")
+  in
+  let max_load =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-load" ] ~docv:"L"
+          ~doc:
+            "Admission control: shed call requests with an overload reply \
+             once fabric occupancy (live calls / capacity) reaches $(docv) \
+             in (0, 1].  Omit to admit up to the routing layer's verdict.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"K"
+          ~doc:
+            "Backpressure bound: at most $(docv) requests pending in the \
+             reactor before new call requests are shed with an overload \
+             reply instead of buffered.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a scripted request file (one line-JSON request per \
+             line; - for stdin) as fast as possible, driving virtual time \
+             from the requests' \"at\" fields only.  Deterministic: the \
+             same file, seed and options produce a byte-identical response \
+             stream at every --shards and --jobs setting.")
+  in
+  let calls =
+    Arg.(
+      value & opt int 0
+      & info [ "calls" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) call decisions (accept + block + \
+             overload).  0 = unbounded.")
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of stdin; clients are \
+             served one at a time against the same persistent fabric.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Partition the failure/repair clocks across $(docv) \
+             stage-level event heaps (the scale layer's layout).  Every \
+             switch draws its clock history from its own PRNG substream, \
+             so the response stream is byte-identical at every $(docv).")
+  in
+  let speed =
+    Arg.(
+      value & opt float 1.0
+      & info [ "speed" ] ~docv:"X"
+          ~doc:
+            "Wall-clock coupling for live mode: $(docv) virtual time units \
+             elapse per wall second (ignored under --replay).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Accepted for interface symmetry with the batch subcommands; \
+             the reactor is single-threaded and the response stream is \
+             independent of $(docv).")
+  in
+  let doc =
+    "Live switch-controller daemon over the DES fabric: line-JSON \
+     connection requests in (stdin, --replay FILE, or a Unix socket), one \
+     accept/block/overload decision line out per request, with per-switch \
+     failure/repair churn firing between requests and asynchronous \
+     rerouted/dropped/released notifications as calls are hit.  A \
+     metrics request returns a live JSON snapshot; --trace emits one \
+     span per decision."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ spec_args $ n_arg $ seed_arg $ policy $ holding $ mtbf
+      $ mttr $ max_load $ queue $ replay $ calls $ socket $ shards $ speed
+      $ jobs $ obs_args)
+
 (* ---------- degrade ---------- *)
 
 let degrade_cmd =
@@ -1778,7 +2124,7 @@ let () =
        (Cmd.group info
           [
             build_cmd; topologies_cmd; faults_cmd; route_cmd; check_cmd;
-            survive_cmd; curve_cmd; rare_cmd; traffic_cmd; tournament_cmd;
-            degrade_cmd;
+            survive_cmd; curve_cmd; rare_cmd; traffic_cmd; serve_cmd;
+            tournament_cmd; degrade_cmd;
             critical_cmd; render_cmd;
           ]))

@@ -1,0 +1,44 @@
+type verdict = Admit | Shed
+
+type t = {
+  name : string;
+  decide : occupancy:float -> queue_depth:int -> verdict;
+}
+
+let name t = t.name
+let decide t = t.decide
+let unlimited = { name = "unlimited"; decide = (fun ~occupancy:_ ~queue_depth:_ -> Admit) }
+
+let max_load l =
+  if not (l > 0.0) || Float.is_nan l then
+    invalid_arg "Admission.max_load: bound must be > 0";
+  {
+    name = Printf.sprintf "max-load<%g" l;
+    decide =
+      (fun ~occupancy ~queue_depth:_ ->
+        if occupancy >= l then Shed else Admit);
+  }
+
+let queue_limit k =
+  if k < 1 then invalid_arg "Admission.queue_limit: bound must be >= 1";
+  {
+    name = Printf.sprintf "queue<%d" k;
+    decide =
+      (fun ~occupancy:_ ~queue_depth ->
+        if queue_depth >= k then Shed else Admit);
+  }
+
+let combine = function
+  | [] -> unlimited
+  | ps ->
+      {
+        name = String.concat "+" (List.map (fun p -> p.name) ps);
+        decide =
+          (fun ~occupancy ~queue_depth ->
+            if
+              List.exists
+                (fun p -> p.decide ~occupancy ~queue_depth = Shed)
+                ps
+            then Shed
+            else Admit);
+      }

@@ -1,0 +1,52 @@
+(** The daemon's reactor: one thread, no domains — a poll on the input
+    descriptor interleaved with the engine's next DES timer.
+
+    Two clock disciplines:
+
+    - {!replay} reads a scripted request file as fast as possible;
+      virtual time is driven only by the requests' [at] fields (and the
+      events they make due).  Deterministic by construction — the
+      test/bench harness.
+    - {!live} syncs virtual time to the wall clock: the loop sleeps in
+      [Unix.select] until the input descriptor is readable or the next
+      failure/repair/hangup clock is due, whichever comes first, so the
+      fabric churns in real time between requests.  Requests are read
+      into a pending queue; the admission policy sees the queue depth
+      and occupancy {e at enqueue time} and sheds with an [overload]
+      reply rather than buffering unboundedly.
+
+    Both return how they stopped; the driver prints the engine summary
+    and flushes sinks on every path. *)
+
+type stop_reason =
+  | Eof  (** input exhausted (or the client hung up, in live mode) *)
+  | Limit  (** the [--calls] decision bound was reached *)
+  | Interrupted  (** the [stop] probe fired (SIGINT/SIGTERM) *)
+
+val replay :
+  engine:Engine.t ->
+  admission:Admission.t ->
+  emit:(Proto.response -> unit) ->
+  ?max_calls:int ->
+  ?stop:(unit -> bool) ->
+  in_channel ->
+  stop_reason
+(** Drain the channel line by line.  Malformed lines get normalized
+    [error] replies through [emit] (the same sink the engine answers
+    on) and never kill the daemon.  [max_calls] bounds {e decisions}
+    (accept + block + overload), not lines. *)
+
+val live :
+  engine:Engine.t ->
+  admission:Admission.t ->
+  emit:(Proto.response -> unit) ->
+  ?max_calls:int ->
+  ?stop:(unit -> bool) ->
+  ?speed:float ->
+  ?flush:(unit -> unit) ->
+  Unix.file_descr ->
+  stop_reason
+(** Serve the descriptor wall-clock-synced: [speed] virtual time units
+    elapse per wall second (default 1.0).  [flush] runs after every
+    burst of responses so a remote client sees them promptly.  The
+    [stop] probe is consulted at least every 200 ms even when idle. *)

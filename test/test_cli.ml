@@ -20,6 +20,25 @@ let run args =
   Sys.remove tmp;
   (code, out)
 
+(* like run, but keep stdout and stderr apart: several tests assert that
+   machine-readable stdout stays clean of human chatter *)
+let run_split ?stdin_file args =
+  let out = Filename.temp_file "ftnet" ".out" in
+  let err = Filename.temp_file "ftnet" ".err" in
+  let redirect_in =
+    match stdin_file with None -> "" | Some f -> Printf.sprintf " < %s" f
+  in
+  let cmd = Printf.sprintf "%s %s%s > %s 2> %s" exe args redirect_in out err in
+  let code = Sys.command cmd in
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, slurp out, slurp err)
+
 let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
@@ -509,6 +528,169 @@ let test_error_unwritable_trace () =
     "faults --family benes -n 8 --trace /nonexistent/t.jsonl"
     "cannot open --trace"
 
+(* --progress chatter must go to stderr on every subcommand so that
+   piped stdout stays machine-readable *)
+let test_progress_on_stderr_stdout_clean_json () =
+  let code, out, err =
+    run_split
+      "curve --family benes -n 8 --trials 40 --eps-grid 0.01:0.1:3 --seed 4 \
+       --json --progress"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "progress on stderr" err "progress:";
+  (match Ftcsn_obs.Json.parse (String.trim out) with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "stdout with --progress is not clean JSON (%s):\n%s" e out);
+  (* same invariant for traffic --json *)
+  let code, out, err =
+    run_split
+      "traffic --family benes -n 8 --load 1 --warmup 50 --calls 200 --trials \
+       1 --seed 3 --json --progress"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  ignore err;
+  match Ftcsn_obs.Json.parse (String.trim out) with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "traffic --json stdout is not clean JSON (%s):\n%s" e out
+
+(* ---------- serve: live daemon over the DES fabric ---------- *)
+
+let write_request_file ?(metrics = false) ~calls () =
+  let path = Filename.temp_file "ftnet_requests" ".jsonl" in
+  let oc = open_out path in
+  for i = 0 to calls - 1 do
+    if i mod 6 = 5 then
+      Printf.fprintf oc {|{"req":"hangup","id":"c%d"}|} (i - 2)
+    else
+      Printf.fprintf oc {|{"req":"call","id":"c%d","at":%d.%02d}|} i (i / 20)
+        (5 * (i mod 20));
+    output_char oc '\n'
+  done;
+  if metrics then output_string oc "{\"req\":\"metrics\"}\n";
+  close_out oc;
+  path
+
+let with_request_file ?metrics ~calls f =
+  let path = write_request_file ?metrics ~calls () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let response_lines out =
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+
+let test_serve_replay_smoke () =
+  with_request_file ~metrics:true ~calls:60 @@ fun reqs ->
+  let code, out, err =
+    run_split
+      (Printf.sprintf
+         "serve --replay %s --net benes:16 --seed 3 --mtbf 5 --mttr 1" reqs)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "banner" err "serve: benes-16";
+  check_contains "banner says replay" err "replay from";
+  check_contains "summary" err "decisions";
+  check_contains "accepts" out "\"resp\":\"accept\"";
+  check_contains "metrics snapshot" out "\"resp\":\"metrics\"";
+  check_contains "snapshot counters" out "\"offered\":";
+  (* stdout is exclusively one JSON object per line *)
+  List.iter
+    (fun l ->
+      match Ftcsn_obs.Json.parse l with
+      | Ok (Ftcsn_obs.Json.Obj _) -> ()
+      | _ -> Alcotest.failf "serve stdout line is not a JSON object: %S" l)
+    (response_lines out)
+
+let test_serve_replay_deterministic () =
+  (* no metrics request here: the latency histogram in the snapshot is
+     wall-clock-dependent; everything else must be byte-identical *)
+  with_request_file ~calls:120 @@ fun reqs ->
+  let go extra =
+    let code, out, _ =
+      run_split
+        (Printf.sprintf
+           "serve --replay %s --net benes:16 --policy loop --seed 5 --mtbf 3 \
+            --mttr 0.5 %s"
+           reqs extra)
+    in
+    Alcotest.(check int) ("exit with " ^ extra) 0 code;
+    out
+  in
+  let reference = go "" in
+  Alcotest.(check bool) "stream non-empty" true (String.length reference > 0);
+  Alcotest.(check string) "identical across runs" reference (go "");
+  Alcotest.(check string) "identical at --shards 3" reference (go "--shards 3");
+  Alcotest.(check string) "identical at --jobs 4" reference (go "--jobs 4")
+
+let test_serve_calls_bound () =
+  with_request_file ~calls:60 @@ fun reqs ->
+  let code, out, err =
+    run_split
+      (Printf.sprintf "serve --replay %s --net benes:16 --seed 3 --calls 10"
+         reqs)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "stop reason" err "[stopped: --calls bound]";
+  let decisions =
+    List.length
+      (List.filter
+         (fun l ->
+           contains l "\"resp\":\"accept\""
+           || contains l "\"resp\":\"block\""
+           || contains l "\"resp\":\"overload\"")
+         (response_lines out))
+  in
+  Alcotest.(check int) "exactly --calls decisions" 10 decisions
+
+let test_serve_stdin_live () =
+  (* live mode on stdin: EOF after the scripted requests ends the run *)
+  with_request_file ~metrics:true ~calls:12 @@ fun reqs ->
+  let code, out, err =
+    run_split ~stdin_file:reqs "serve --net benes:16 --seed 3 --speed 1e6"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "banner says stdin" err "live on stdin";
+  check_contains "accepts" out "\"resp\":\"accept\"";
+  check_contains "metrics snapshot" out "\"resp\":\"metrics\""
+
+let test_serve_overload () =
+  (* tiny --max-load plus never-expiring holds forces admission sheds *)
+  let path = Filename.temp_file "ftnet_requests" ".jsonl" in
+  let oc = open_out path in
+  for i = 0 to 19 do
+    Printf.fprintf oc
+      {|{"req":"call","id":"c%d","hold":1e9,"at":%d.0}|} i i;
+    output_char oc '\n'
+  done;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let code, out, err =
+    run_split
+      (Printf.sprintf
+         "serve --replay %s --net benes:16 --seed 3 --max-load 0.05" path)
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "admission in banner" err "max-load<0.05";
+  check_contains "overload replies" out "\"resp\":\"overload\""
+
+let test_serve_errors () =
+  check_usage_error "serve rearrange"
+    "serve --net benes:16 --replay /dev/null --policy rearrange"
+    "serve routes one request at a time";
+  check_usage_error "serve max-load 0"
+    "serve --net benes:16 --replay /dev/null --max-load 0"
+    "invalid --max-load value";
+  check_usage_error "serve mttr 0"
+    "serve --net benes:16 --replay /dev/null --mttr 0" "invalid --mttr value";
+  check_usage_error "serve replay+socket"
+    "serve --net benes:16 --replay /dev/null --socket /tmp/x.sock"
+    "--replay and --socket cannot both be given";
+  check_usage_error "serve missing replay file"
+    "serve --net benes:16 --replay /nonexistent/reqs.jsonl"
+    "cannot open --replay file";
+  check_usage_error "serve shards too many"
+    "serve --net benes:16 --replay /dev/null --shards 99" "shardable regions"
+
 (* ---------- ε-grid curves ---------- *)
 
 let test_curve () =
@@ -792,6 +974,18 @@ let () =
           Alcotest.test_case "metrics report" `Quick test_metrics_report;
           Alcotest.test_case "bit-identical across trace/jobs" `Slow
             test_cli_determinism;
+          Alcotest.test_case "--progress on stderr, stdout clean JSON" `Quick
+            test_progress_on_stderr_stdout_clean_json;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "replay smoke" `Quick test_serve_replay_smoke;
+          Alcotest.test_case "replay byte-identical across runs/shards/jobs"
+            `Quick test_serve_replay_deterministic;
+          Alcotest.test_case "--calls bound" `Quick test_serve_calls_bound;
+          Alcotest.test_case "live stdin until EOF" `Quick test_serve_stdin_live;
+          Alcotest.test_case "admission overload" `Quick test_serve_overload;
+          Alcotest.test_case "usage errors" `Quick test_serve_errors;
         ] );
       ( "errors",
         [
